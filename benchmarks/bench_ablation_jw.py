@@ -1,0 +1,80 @@
+"""ABL-JW — the Jaro-Winkler 0.8 cutoff ablation (§2.2.2).
+
+The paper: "after initial empirical tests, candidates with Jaro-Winkler
+distance lower than 0.8 are discarded at this stage unless their DBpedia
+score is maximum." We sweep the threshold over the gold corpus and
+record the precision / recall / acceptance trade-off, plus the effect of
+removing the max-DBpedia-score escape hatch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.annotator import SemanticAnnotator
+from repro.core.filtering import SemanticFilter
+from repro.resolvers import SemanticBroker, default_resolvers
+from repro.workloads import score_pipeline
+
+THRESHOLDS = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+
+def _annotator(corpus, **filter_kwargs):
+    broker = SemanticBroker(default_resolvers(corpus))
+    return SemanticAnnotator(
+        broker, SemanticFilter(corpus, **filter_kwargs)
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(corpus):
+    rows = {}
+    for threshold in THRESHOLDS:
+        annotator = _annotator(corpus, jw_threshold=threshold)
+        score = score_pipeline(annotator)
+        rows[threshold] = score
+    return rows
+
+
+def test_sweep_shape(sweep):
+    """Recall cannot increase as the threshold rises; the paper's 0.8
+    must sit at (or near) the precision/recall sweet spot."""
+    recalls = [sweep[t].recall for t in THRESHOLDS]
+    assert all(a >= b - 1e-9 for a, b in zip(recalls, recalls[1:]))
+    paper = sweep[0.8]
+    print("\nABL-JW threshold sweep:")
+    for threshold in THRESHOLDS:
+        s = sweep[threshold]
+        print(
+            f"  jw>={threshold:.2f}: precision={s.precision:.3f} "
+            f"recall={s.recall:.3f} f1={s.f1:.3f}"
+        )
+    assert paper.f1 >= max(s.f1 for s in sweep.values()) - 0.05
+
+
+def bench_pipeline_at_paper_threshold(benchmark, corpus):
+    annotator = _annotator(corpus, jw_threshold=0.8)
+    score = benchmark(lambda: score_pipeline(annotator))
+    benchmark.extra_info["precision"] = round(score.precision, 3)
+    benchmark.extra_info["recall"] = round(score.recall, 3)
+
+
+def bench_pipeline_loose_threshold(benchmark, corpus):
+    annotator = _annotator(corpus, jw_threshold=0.5)
+    score = benchmark(lambda: score_pipeline(annotator))
+    benchmark.extra_info["precision"] = round(score.precision, 3)
+    benchmark.extra_info["recall"] = round(score.recall, 3)
+
+
+def test_escape_hatch_effect(corpus):
+    """Removing the max-DBpedia-score exception must not improve
+    recall (it only ever rescues candidates)."""
+    with_hatch = score_pipeline(_annotator(corpus))
+    without = score_pipeline(
+        _annotator(corpus, jw_escape_on_max_dbpedia_score=False)
+    )
+    print(
+        f"\nABL-JW escape hatch: with={with_hatch.recall:.3f} "
+        f"without={without.recall:.3f} (recall)"
+    )
+    assert with_hatch.recall >= without.recall

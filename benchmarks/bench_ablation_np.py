@@ -1,0 +1,77 @@
+"""ABL-NP — the NP-score ≥ 0.2 threshold ablation (§2.2.2).
+
+"At this time, non-numeric NP lemmas with a score of at least 0.2 are
+preserved." We sweep the threshold and record how many words reach the
+broker (candidate volume — each extra word costs resolver calls) versus
+the resulting annotation quality, and measure the term-frequency
+fallback's contribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.annotator import SemanticAnnotator
+from repro.core.filtering import SemanticFilter
+from repro.resolvers import SemanticBroker, default_resolvers
+from repro.workloads import GOLD_CORPUS, score_pipeline
+
+THRESHOLDS = (0.0, 0.2, 0.6, 0.9)
+
+
+def _annotator(corpus, **kwargs):
+    broker = SemanticBroker(default_resolvers(corpus))
+    return SemanticAnnotator(
+        broker, SemanticFilter(corpus), **kwargs
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(corpus):
+    rows = {}
+    for threshold in THRESHOLDS:
+        annotator = _annotator(corpus, np_min_score=threshold)
+        words = 0
+        for example in GOLD_CORPUS:
+            result = annotator.annotate(example.title, example.tags)
+            words += len(result.words)
+        rows[threshold] = (words, score_pipeline(annotator))
+    return rows
+
+
+def test_sweep_shape(sweep):
+    """Raising the NP threshold must shrink the broker's word volume;
+    the paper's 0.2 keeps quality while cutting sentence-initial
+    common-word noise."""
+    volumes = [sweep[t][0] for t in THRESHOLDS]
+    assert all(a >= b for a, b in zip(volumes, volumes[1:]))
+    print("\nABL-NP threshold sweep:")
+    for threshold in THRESHOLDS:
+        words, score = sweep[threshold]
+        print(
+            f"  np>={threshold:.1f}: words-to-broker={words:4d} "
+            f"precision={score.precision:.3f} recall={score.recall:.3f}"
+        )
+    paper_words, paper_score = sweep[0.2]
+    loose_words, loose_score = sweep[0.0]
+    assert paper_words <= loose_words
+    assert paper_score.f1 >= loose_score.f1 - 0.05
+
+
+def test_high_threshold_hurts_recall(sweep):
+    _, paper = sweep[0.2]
+    _, strict = sweep[0.9]
+    assert strict.recall <= paper.recall
+
+
+def bench_paper_np_threshold(benchmark, corpus):
+    annotator = _annotator(corpus, np_min_score=0.2)
+    benchmark(lambda: score_pipeline(annotator))
+
+
+def bench_term_frequency_fallback_off(benchmark, corpus):
+    """The tf fallback's cost/benefit (§2.2.2 uses it to 'extract other
+    potential relevant words')."""
+    annotator = _annotator(corpus, term_freq_top_k=0)
+    score = benchmark(lambda: score_pipeline(annotator))
+    benchmark.extra_info["recall_without_tf"] = round(score.recall, 3)

@@ -1,0 +1,47 @@
+"""D2R — relational→RDF lifting throughput (§2.1).
+
+Measures the dump-rdf step (the offline lifting the paper runs before
+bulk-loading Virtuoso) at three database sizes, plus the share of
+triples produced by keyword splitting (§2.1.1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.d2r import dump_graph, dump_ntriples
+from repro.platform import TLV
+
+
+def bench_dump_graph(benchmark, sized_platform):
+    size, platform = sized_platform
+
+    graph = benchmark(
+        lambda: dump_graph(platform.db, platform.mapping)
+    )
+
+    keyword_triples = sum(
+        1 for _ in graph.triples((None, TLV.keyword, None))
+    )
+    benchmark.extra_info["contents"] = size
+    benchmark.extra_info["triples"] = len(graph)
+    benchmark.extra_info["keyword_triples"] = keyword_triples
+    assert keyword_triples > 0
+
+
+def bench_dump_ntriples_serialization(benchmark, small_platform):
+    """Serialization to the N-Triples interchange document."""
+    text = benchmark(
+        lambda: dump_ntriples(small_platform.db, small_platform.mapping)
+    )
+    benchmark.extra_info["lines"] = text.count("\n")
+
+
+def bench_dump_roundtrip(benchmark, small_platform):
+    """Dump + reload: the full path into the triple store."""
+    from repro.rdf import load_ntriples
+
+    text = dump_ntriples(small_platform.db, small_platform.mapping)
+
+    graph = benchmark(lambda: load_ntriples(text))
+    assert len(graph) == text.count("\n")

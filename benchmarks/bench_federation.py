@@ -1,0 +1,113 @@
+"""FED — the federated architecture extension (paper §6).
+
+Measures the federation primitives: publish→notify fan-out through the
+PubSubHubbub-style hub ("near-instant notifications"), federated home
+timeline merging across nodes, Salmon round trips and WebFinger lookup
+throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federation import Federation, PhotoFrame
+
+N_NODES = 4
+MEMBERS_PER_NODE = 3
+POSTS_PER_MEMBER = 20
+
+
+@pytest.fixture(scope="module")
+def federation_world():
+    federation = Federation()
+    nodes = []
+    for n in range(N_NODES):
+        node = federation.create_node(
+            f"family{n}.example.net", f"key{n}".encode()
+        )
+        for m in range(MEMBERS_PER_NODE):
+            node.add_member(f"user{m}", f"User {n}.{m}")
+        nodes.append(node)
+    # everyone on node 0 follows everyone on the other nodes
+    for m in range(MEMBERS_PER_NODE):
+        for other in nodes[1:]:
+            for remote_member in other.members():
+                nodes[0].follow(
+                    f"user{m}", other.acct(remote_member)
+                )
+    # publish a history
+    timestamp = 1000
+    for node in nodes:
+        for member in node.members():
+            for p in range(POSTS_PER_MEMBER):
+                timestamp += 1
+                node.publish(
+                    member, f"post {p}",
+                    f"http://{node.domain}/m/{member}/{p}.jpg",
+                    timestamp,
+                )
+    return federation, nodes
+
+
+def bench_publish_fanout(benchmark, federation_world):
+    """One publish delivered to all cross-node subscribers."""
+    federation, nodes = federation_world
+    source = nodes[1]
+    counter = [2000]
+
+    def run():
+        counter[0] += 1
+        return source.publish(
+            "user0", "fanout probe",
+            f"http://x/{counter[0]}.jpg", counter[0],
+        )
+
+    benchmark(run)
+    subscribers = federation.hub.subscribers(source.topic("user0"))
+    benchmark.extra_info["subscribers"] = len(subscribers)
+
+
+def bench_home_timeline_merge(benchmark, federation_world):
+    _, nodes = federation_world
+    home = benchmark(lambda: nodes[0].home_timeline(limit=50))
+    assert len(home) == 50
+    benchmark.extra_info["sources"] = (
+        MEMBERS_PER_NODE + 1  # local timelines + federated inbox
+    )
+
+
+def bench_salmon_roundtrip(benchmark, federation_world):
+    _, nodes = federation_world
+    target_content = nodes[1].contents()[0]
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        return nodes[0].comment(
+            "user0", target_content.url, f"comment {counter[0]}",
+            5000 + counter[0],
+        )
+
+    benchmark(run)
+    assert nodes[1].content(target_content.url).comments
+
+
+def bench_webfinger_lookup(benchmark, federation_world):
+    federation, nodes = federation_world
+    accounts = [
+        node.acct(member)
+        for node in nodes
+        for member in node.members()
+    ]
+
+    descriptors = benchmark(
+        lambda: [federation.directory.lookup(a) for a in accounts]
+    )
+    assert len(descriptors) == N_NODES * MEMBERS_PER_NODE
+
+
+def bench_photoframe_refresh(benchmark, federation_world):
+    federation, nodes = federation_world
+    frame = PhotoFrame(federation.ssdp)
+    count = benchmark(lambda: frame.refresh("family"))
+    benchmark.extra_info["slideshow_items"] = count

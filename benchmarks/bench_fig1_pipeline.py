@@ -1,0 +1,74 @@
+"""FIG1 — the semantic annotation pipeline (paper Figure 1).
+
+Reproduces the pipeline as a measurable artifact: end-to-end latency per
+title, per-stage latencies (language id, morphological analysis,
+brokering+filtering) and the acceptance/abstention statistics over the
+gold corpus. The paper gives no numbers for this figure; EXPERIMENTS.md
+records what we measure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nlp import MorphologicalAnalyzer, default_detector
+from repro.workloads import GOLD_CORPUS, score_pipeline
+
+TITLES = [example.title for example in GOLD_CORPUS]
+
+
+def test_pipeline_quality_headline(annotator):
+    """The summary row: precision/recall over the gold corpus."""
+    score = score_pipeline(annotator)
+    assert score.precision >= 0.9
+    assert score.recall >= 0.9
+    print(
+        f"\nFIG1 gold-corpus quality: precision={score.precision:.3f} "
+        f"recall={score.recall:.3f} f1={score.f1:.3f} "
+        f"language-accuracy={score.language_accuracy:.3f} "
+        f"abstention={score.abstain_correct}/{score.abstain_expected}"
+    )
+
+
+def bench_full_pipeline(benchmark, annotator):
+    """End-to-end annotation latency over the whole gold corpus."""
+
+    def run():
+        return [annotator.annotate(t) for t in TITLES]
+
+    results = benchmark(run)
+    annotated = sum(1 for r in results if r.annotations)
+    benchmark.extra_info["titles"] = len(TITLES)
+    benchmark.extra_info["titles_with_annotations"] = annotated
+
+
+def bench_stage_language_detection(benchmark):
+    detector = default_detector()
+    benchmark(lambda: [detector.detect(t) for t in TITLES])
+
+
+def bench_stage_morphology(benchmark):
+    analyzer = MorphologicalAnalyzer("it")
+    benchmark(lambda: [analyzer.proper_nouns(t) for t in TITLES])
+
+
+def bench_stage_broker_and_filter(benchmark, annotator):
+    """Brokering+filtering isolated: pre-computed word lists."""
+    word_lists = []
+    for title in TITLES:
+        result = annotator.annotate(title)
+        word_lists.append((result.words, title, result.language))
+
+    def run():
+        outcomes = []
+        for words, title, language in word_lists:
+            broker_result = annotator.broker.resolve(
+                words, text=title, language=language
+            )
+            for word, candidates in broker_result.per_word.items():
+                outcomes.append(
+                    annotator.filter.filter_word(word, candidates)
+                )
+        return outcomes
+
+    benchmark(run)

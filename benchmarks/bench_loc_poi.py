@@ -1,0 +1,101 @@
+"""LOC — location analysis and POI→DBpedia resolution (§2.2.1).
+
+Two measurements: (1) contextualization latency — GPS → civil address +
+Geonames reference + nearby buddies; (2) POI association accuracy — the
+``poi:recs_id`` → DBpedia SPARQL resolution over the whole synthetic
+world, verifying every non-commercial POI category resolves and every
+commercial one is excluded, as the paper specifies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.context import ContextPlatform, Gazetteer, TripleTag
+from repro.core import LocationAnalyzer
+from repro.core.location import COMMERCIAL_CATEGORIES
+from repro.lod import POIS, build_lod_corpus
+from repro.rdf import DBPR
+from repro.sparql.geo import Point
+
+
+@pytest.fixture(scope="module")
+def analyzer(corpus):
+    return LocationAnalyzer(corpus, Gazetteer())
+
+
+@pytest.fixture(scope="module")
+def busy_context():
+    context = ContextPlatform()
+    for i in range(30):
+        name = f"user{i}"
+        context.register_user(name, f"User {i}")
+    for i in range(29):
+        context.add_friendship(f"user{i}", f"user{i + 1}")
+    base = Point(7.6934, 45.0692)
+    for i in range(30):
+        context.report_position(
+            f"user{i}", 1000,
+            Point(base.longitude + i * 1e-4, base.latitude),
+        )
+    return context
+
+
+def bench_contextualize(benchmark, busy_context):
+    context = benchmark(
+        lambda: busy_context.contextualize("user5", 1010)
+    )
+    assert context.location is not None
+    assert context.location.address.city == "Turin"
+    benchmark.extra_info["nearby_buddies"] = len(context.buddies)
+
+
+def bench_reverse_geocode_grid(benchmark):
+    """Reverse geocoding across a grid spanning the synthetic world."""
+    gazetteer = Gazetteer()
+    points = [
+        Point(2.0 + dx * 1.3, 41.5 + dy * 1.2)
+        for dx in range(9)
+        for dy in range(9)
+    ]
+
+    addresses = benchmark(
+        lambda: [gazetteer.reverse_geocode(p) for p in points]
+    )
+    benchmark.extra_info["points"] = len(addresses)
+
+
+def bench_poi_resolution(benchmark, analyzer):
+    gazetteer = analyzer.gazetteer
+    tags = [
+        TripleTag("poi", "recs_id", str(gazetteer.recs_id_for(poi)))
+        for poi in POIS
+    ]
+
+    resolved = benchmark(
+        lambda: [analyzer.resolve_poi_tag(tag) for tag in tags]
+    )
+    hits = sum(1 for r in resolved if r is not None)
+    benchmark.extra_info["pois"] = len(POIS)
+    benchmark.extra_info["resolved"] = hits
+
+
+def test_poi_resolution_accuracy(analyzer):
+    """Every mapped non-commercial POI resolves to its own DBpedia
+    resource; every commercial POI is excluded."""
+    resolvable = 0
+    correct = 0
+    for poi in POIS:
+        resource = analyzer.resolve_poi(poi)
+        if poi.category in COMMERCIAL_CATEGORIES:
+            assert resource is None, f"{poi.key} must be excluded"
+            continue
+        if not poi.in_dbpedia:
+            assert resource is None
+            continue
+        resolvable += 1
+        if resource == DBPR[poi.key]:
+            correct += 1
+    print(f"\nLOC: POI resolution {correct}/{resolvable} correct, "
+          f"commercial excluded")
+    assert correct == resolvable

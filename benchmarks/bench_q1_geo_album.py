@@ -1,0 +1,47 @@
+"""Q1 — the paper's first virtual-album query (§2.3).
+
+"Select the set of user generated content, taken near to the monument
+'Mole Antonelliana'" — measured across content populations of 100, 1000
+and 5000 items, radius 0.3 km as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core import geo_album
+
+
+def bench_q1_album(benchmark, sized_platform):
+    size, platform = sized_platform
+    evaluator = platform.evaluator()
+    album = geo_album("Mole Antonelliana", radius_km=0.3)
+
+    links = benchmark(lambda: album.links(evaluator))
+
+    benchmark.extra_info["contents"] = size
+    benchmark.extra_info["matches"] = len(links)
+    benchmark.extra_info["store_triples"] = len(platform.union_graph())
+    assert links, "the Turin workload always has content near the Mole"
+
+
+def bench_q1_radius_sweep(benchmark, small_platform):
+    """Radius sensitivity: the paper uses 0.3 near monuments, 1.0 at
+    city level, 0.2 for same-location UGC."""
+    evaluator = small_platform.evaluator()
+    albums = {
+        radius: geo_album("Mole Antonelliana", radius_km=radius)
+        for radius in (0.2, 0.3, 1.0, 5.0)
+    }
+
+    def run():
+        return {
+            radius: len(album.links(evaluator))
+            for radius, album in albums.items()
+        }
+
+    counts = benchmark(run)
+    benchmark.extra_info["matches_by_radius"] = counts
+    # monotone: a larger radius can only add content
+    radii = sorted(counts)
+    assert all(
+        counts[a] <= counts[b] for a, b in zip(radii, radii[1:])
+    )

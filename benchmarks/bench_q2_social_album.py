@@ -1,0 +1,41 @@
+"""Q2 — virtual album with social filtering (§2.3 query 2).
+
+Adds the friend-of-"oscar" restriction to Q1. The social join must
+*narrow* the result (friendship filters only remove makers), and the
+benchmark records the narrowing factor alongside latency.
+"""
+
+from __future__ import annotations
+
+from repro.core import geo_album, social_album
+
+
+def bench_q2_album(benchmark, sized_platform):
+    size, platform = sized_platform
+    evaluator = platform.evaluator()
+    album = social_album(
+        "Mole Antonelliana", friend_of="oscar", radius_km=0.3
+    )
+
+    links = benchmark(lambda: album.links(evaluator))
+
+    geo_links = geo_album("Mole Antonelliana", radius_km=0.3).links(
+        evaluator
+    )
+    benchmark.extra_info["contents"] = size
+    benchmark.extra_info["q1_matches"] = len(geo_links)
+    benchmark.extra_info["q2_matches"] = len(links)
+    assert set(links) <= set(geo_links), "social filter must narrow Q1"
+
+
+def bench_q2_vs_q1_overhead(benchmark, small_platform):
+    """The marginal cost of the social join on the small platform."""
+    evaluator = small_platform.evaluator()
+    q1 = geo_album("Mole Antonelliana", radius_km=0.3)
+    q2 = social_album("Mole Antonelliana", friend_of="oscar",
+                      radius_km=0.3)
+
+    def run():
+        return q1.links(evaluator), q2.links(evaluator)
+
+    benchmark(run)

@@ -1,0 +1,29 @@
+"""Q3 — virtual album with rating ordering (§2.3 query 3).
+
+Q2 plus ``rev:rating`` retrieval and ``ORDER BY DESC(?points)``. The
+benchmark asserts the ordering invariant and records result sizes.
+"""
+
+from __future__ import annotations
+
+from repro.core import rated_album, social_album
+
+
+def bench_q3_album(benchmark, sized_platform):
+    size, platform = sized_platform
+    evaluator = platform.evaluator()
+    album = rated_album(
+        "Mole Antonelliana", friend_of="oscar", radius_km=0.3
+    )
+
+    result = benchmark(lambda: album.fetch(evaluator))
+
+    ratings = [row["points"].value for row in result]
+    assert ratings == sorted(ratings, reverse=True)
+    benchmark.extra_info["contents"] = size
+    benchmark.extra_info["q3_matches"] = len(result)
+
+    # Q3 requires a rating: unrated content drops relative to Q2
+    q2 = social_album("Mole Antonelliana", friend_of="oscar",
+                      radius_km=0.3)
+    benchmark.extra_info["q2_matches"] = len(q2.fetch(evaluator))

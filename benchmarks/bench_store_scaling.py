@@ -1,0 +1,90 @@
+"""STORE — triple-store substrate scaling.
+
+Sanity-scaling of the Virtuoso stand-in: bulk insert throughput,
+indexed pattern matching and SPARQL BGP evaluation at 10k–100k triples.
+Not a paper artifact per se, but the substrate every experiment stands
+on; EXPERIMENTS.md records the numbers so regressions are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf import FOAF, Graph, Literal, RDF, URIRef
+from repro.sparql import Evaluator
+
+SIZES = (10_000, 50_000, 100_000)
+
+EX = "http://example.org/"
+
+
+def _triples(n):
+    person_type = FOAF.Person
+    for i in range(n):
+        subject = URIRef(f"{EX}person/{i}")
+        kind = i % 3
+        if kind == 0:
+            yield (subject, RDF.type, person_type)
+        elif kind == 1:
+            yield (subject, FOAF.name, Literal(f"name {i}"))
+        else:
+            yield (subject, FOAF.knows, URIRef(f"{EX}person/{i - 1}"))
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def filled_graph(request):
+    graph = Graph()
+    graph.add_all(_triples(request.param))
+    return request.param, graph
+
+
+def bench_bulk_insert(benchmark, filled_graph):
+    size, _ = filled_graph
+    triples = list(_triples(size))
+
+    def run():
+        g = Graph()
+        g.add_all(triples)
+        return g
+
+    graph = benchmark(run)
+    benchmark.extra_info["triples"] = len(graph)
+
+
+def bench_pattern_match_by_predicate(benchmark, filled_graph):
+    size, graph = filled_graph
+
+    count = benchmark(
+        lambda: sum(1 for _ in graph.triples((None, FOAF.name, None)))
+    )
+    benchmark.extra_info["triples"] = size
+    benchmark.extra_info["matches"] = count
+
+
+def bench_fully_bound_lookups(benchmark, filled_graph):
+    size, graph = filled_graph
+    probes = [
+        (URIRef(f"{EX}person/{i}"), RDF.type, FOAF.Person)
+        for i in range(0, size, max(1, size // 1000))
+    ]
+
+    hits = benchmark(
+        lambda: sum(1 for t in probes if t in graph)
+    )
+    benchmark.extra_info["probes"] = len(probes)
+    benchmark.extra_info["hits"] = hits
+
+
+def bench_sparql_join(benchmark, filled_graph):
+    size, graph = filled_graph
+    evaluator = Evaluator(graph)
+    query = """
+        SELECT ?a ?b WHERE {
+          ?a foaf:knows ?b .
+          ?a a foaf:Person .
+        }
+    """
+
+    result = benchmark(lambda: evaluator.evaluate(query))
+    benchmark.extra_info["triples"] = size
+    benchmark.extra_info["rows"] = len(result)

@@ -1,0 +1,70 @@
+"""TT — legacy triple-tag navigation vs. SPARQL virtual albums (§1.1).
+
+The platform's pre-semantic navigation filtered content by triple-tag
+namespace/predicate/value (e.g. ``people:fn=Walter+Goix``). We measure
+that baseline against the semantic album answering the corresponding
+richer question, and record the expressiveness gap: the tag album can
+only match exact tag strings, the SPARQL album composes geo + social +
+rating criteria the tag system cannot express at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import rated_album
+from repro.platform import TagAlbum, by_place_type
+
+
+def bench_tag_album_filter(benchmark, sized_platform):
+    size, platform = sized_platform
+    contents = platform.contents()
+    album = TagAlbum(namespace="address", predicate="city",
+                     value="Turin")
+
+    items = benchmark(lambda: album.select(contents))
+
+    benchmark.extra_info["contents"] = size
+    benchmark.extra_info["matches"] = len(items)
+    assert items, "Turin workload content carries address:city=Turin"
+
+
+def bench_tag_album_by_namespace_only(benchmark, small_platform):
+    contents = small_platform.contents()
+    album = TagAlbum(namespace="cell")
+    items = benchmark(lambda: album.select(contents))
+    benchmark.extra_info["matches"] = len(items)
+
+
+def bench_sparql_album_equivalent(benchmark, sized_platform):
+    """The semantic album answering the composite question the tag
+    system cannot: near a monument, by friends, rating-ordered."""
+    size, platform = sized_platform
+    evaluator = platform.evaluator()
+    album = rated_album("Mole Antonelliana", friend_of="oscar",
+                        radius_km=0.3)
+
+    result = benchmark(lambda: album.fetch(evaluator))
+
+    benchmark.extra_info["contents"] = size
+    benchmark.extra_info["matches"] = len(result)
+
+
+def test_expressiveness_gap(small_platform):
+    """The tag system cannot express 'near monument X' at all — its
+    closest proxy (exact city tag) over-selects relative to the geo
+    album."""
+    from repro.core import geo_album
+
+    contents = small_platform.contents()
+    tag_proxy = TagAlbum(
+        namespace="address", predicate="city", value="Turin"
+    ).select(contents)
+    geo_links = geo_album("Mole Antonelliana", radius_km=0.3).links(
+        small_platform.evaluator()
+    )
+    print(
+        f"\nTT: city-tag proxy selects {len(tag_proxy)} items; geo "
+        f"album selects {len(geo_links)} near the monument"
+    )
+    assert len(tag_proxy) > len(geo_links)

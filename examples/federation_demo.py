@@ -1,0 +1,77 @@
+"""The federated architecture of §6: two family home servers.
+
+The Rossi family and the Goix family each run the platform on a NAS in
+their home network. Oscar Rossi follows Walter Goix across networks
+(WebFinger discovery + PubSubHubbub subscription); Walter's holiday
+pictures appear near-instantly on the Rossi home timeline and on the
+living-room photo frame; Oscar's comment swims upstream via Salmon.
+
+Run with::
+
+    python examples/federation_demo.py
+"""
+
+from repro.federation import Federation, PhotoFrame
+
+
+def main() -> None:
+    federation = Federation()
+
+    rossi = federation.create_node("rossi.example.net", b"rossi-secret")
+    rossi.add_member("oscar", "Oscar Rossi")
+    rossi.add_member("anna", "Anna Rossi")
+
+    goix = federation.create_node("goix.example.org", b"goix-secret")
+    goix.add_member("walter", "Walter Goix")
+
+    # WebFinger discovery and identity validation
+    descriptor = federation.directory.lookup(
+        "acct:walter@goix.example.org"
+    )
+    print("discovered:", descriptor.subject)
+    for rel, href in descriptor.links.items():
+        print(f"  {rel}: {href}")
+
+    # Cross-network following (hub subscription with verification)
+    rossi.follow("oscar", "acct:walter@goix.example.org")
+    print("\noscar now follows:", rossi.follows("oscar"))
+
+    # The living-room photo frame discovers the Rossi media server and
+    # subscribes to walter's feed for real-time updates
+    frame = PhotoFrame(federation.ssdp)
+    federation.hub.subscribe(
+        "livingroom-frame", goix.topic("walter"),
+        frame.on_new_content, verify=lambda c: c,
+    )
+
+    # Walter publishes from his holidays
+    pic1 = goix.publish("walter", "Spiaggia al tramonto",
+                        "http://goix.example.org/m/1.jpg", 1000)
+    goix.publish("walter", "Cena di pesce",
+                 "http://goix.example.org/m/2.jpg", 1100)
+
+    print("\nrossi home timeline:")
+    for activity in rossi.home_timeline():
+        print(f"  {activity.published}: {activity.actor} "
+              f"{activity.verb} {activity.summary!r}")
+
+    print("\nphoto frame slideshow:", frame.slideshow)
+
+    # Oscar comments; the slap swims upstream to the Goix node
+    rossi.comment("oscar", pic1.url, "Che meraviglia!", 1200)
+    comments = goix.content(pic1.url).comments
+    print(f"\ncomments on {pic1.url}:")
+    for slap in comments:
+        print(f"  {slap.author}: {slap.content!r}")
+
+    # OEmbed lets other sites embed the picture
+    embed = goix.oembed(pic1.url)
+    print("\noembed html:", embed["html"])
+
+    # FOAF profile documents expose the cross-network relationships
+    print("\nrossi FOAF document (turtle):")
+    print(rossi.foaf_graph().serialize("turtle"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of "LODifying personal content sharing" (EDBT 2012).
+
+A complete, self-contained Python implementation of the paper's platform:
+
+* :mod:`repro.rdf` — RDF term model and indexed triple store.
+* :mod:`repro.sparql` — SPARQL engine with Virtuoso-style geospatial and
+  full-text builtins (``bif:st_intersects``, ``bif:contains``).
+* :mod:`repro.relational` — mini relational engine (the Coppermine-style
+  gallery database the platform was built on).
+* :mod:`repro.d2r` — D2R-style relational→RDF mapping and dumping.
+* :mod:`repro.nlp` — language detection, morphological analysis and string
+  similarity (the FreeLing / Text_LanguageDetect stand-ins).
+* :mod:`repro.context` — context management platform simulation (location,
+  nearby buddies, GSM cells, triple tags).
+* :mod:`repro.lod` — deterministic synthetic DBpedia / Geonames /
+  LinkedGeoData datasets.
+* :mod:`repro.resolvers` — the semantic brokering component and its
+  resolvers (DBpedia, Geonames, Sindice, Evri, Zemanta).
+* :mod:`repro.core` — the paper's contribution: the automatic semantic
+  annotation pipeline, location/POI analysis, semantic virtual albums and
+  the LOD mashup.
+* :mod:`repro.platform` — the UGC sharing platform itself.
+* :mod:`repro.federation` — the paper's future-work federated architecture.
+* :mod:`repro.workloads` — synthetic workloads and the gold corpus used by
+  the experiments in EXPERIMENTS.md.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

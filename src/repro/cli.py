@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro annotate "Tramonto sulla Mole Antonelliana" --tags mole
+    python -m repro detect "una foto del mercato"
+    python -m repro query data.nt "SELECT ?s WHERE { ?s ?p ?o } LIMIT 5"
+    python -m repro demo
+    python -m repro dump
+
+Each subcommand is a thin wrapper over the library; everything it prints
+can be reproduced programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'LODifying personal content sharing' "
+            "(EDBT 2012)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    annotate = sub.add_parser(
+        "annotate",
+        help="run the semantic annotation pipeline on a title",
+    )
+    annotate.add_argument("title")
+    annotate.add_argument(
+        "--tags", default="",
+        help="comma-separated plain tags",
+    )
+    annotate.add_argument(
+        "--lang", default=None,
+        help="skip language detection and use this code",
+    )
+
+    detect = sub.add_parser(
+        "detect", help="identify the language of a text"
+    )
+    detect.add_argument("text")
+
+    query = sub.add_parser(
+        "query", help="run a SPARQL query over an N-Triples file"
+    )
+    query.add_argument("file", help="N-Triples input ('-' for stdin)")
+    query.add_argument("sparql")
+
+    sub.add_parser(
+        "demo", help="run the Turin eTourism walkthrough"
+    )
+
+    sub.add_parser(
+        "dump",
+        help="print the demo platform's D2R N-Triples dump",
+    )
+    return parser
+
+
+def _cmd_annotate(args) -> int:
+    from .core import build_default_annotator
+
+    tags = [t for t in args.tags.split(",") if t]
+    annotator = build_default_annotator()
+    result = annotator.annotate(args.title, tags, language=args.lang)
+    print(f"language : {result.language}")
+    print(f"NP lemmas: {', '.join(result.np_lemmas) or '-'}")
+    print(f"tf words : {', '.join(result.frequency_words) or '-'}")
+    print(f"words    : {', '.join(result.words) or '-'}")
+    if not result.words:
+        return 0
+    for word in result.words:
+        outcome = result.outcome_for(word)
+        if outcome is None:
+            continue
+        if outcome.annotated:
+            chosen = outcome.chosen
+            print(f"  {word!r} -> {chosen.resource} [{chosen.graph}]")
+        else:
+            print(f"  {word!r} -> ({outcome.reason.value})")
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    from .nlp import default_detector
+
+    detection = default_detector().detect_with_confidence(args.text)
+    print(f"{detection.language} (confidence {detection.confidence:.3f})")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .rdf import load_ntriples
+    from .sparql import Evaluator, SelectResult
+    from .rdf.graph import Graph
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {args.file}: {exc}",
+                  file=sys.stderr)
+            return 2
+    graph = load_ntriples(text)
+    result = Evaluator(graph).evaluate(args.sparql)
+    if isinstance(result, SelectResult):
+        print(result.to_table())
+        print(f"({len(result)} row(s))")
+    elif isinstance(result, bool):
+        print("yes" if result else "no")
+    elif isinstance(result, Graph):
+        output = result.serialize("ntriples")
+        print(output, end="" if output.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    import runpy
+    from pathlib import Path
+
+    script = (
+        Path(__file__).resolve().parent.parent.parent
+        / "examples" / "etourism_trip.py"
+    )
+    if script.exists():
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    # installed without the examples directory: run a compact inline demo
+    from .core import geo_album
+    from .platform import Capture, Platform
+    from .sparql import Point
+
+    platform = Platform()
+    platform.register_user("walter", "Walter Goix")
+    platform.upload(Capture(
+        username="walter",
+        title="Tramonto sulla Mole Antonelliana",
+        tags=("mole",),
+        timestamp=1_325_376_000,
+        point=Point(7.6930, 45.0690),
+    ))
+    platform.semanticize()
+    album = geo_album("Mole Antonelliana", radius_km=0.3)
+    for link in album.links(platform.evaluator()):
+        print(link)
+    return 0
+
+
+def _cmd_dump(args) -> int:
+    from .platform import Capture, Platform
+    from .sparql import Point
+
+    platform = Platform()
+    platform.register_user("oscar", "Oscar Rodriguez")
+    platform.register_user("walter", "Walter Goix")
+    platform.add_friendship("oscar", "walter")
+    platform.upload(Capture(
+        username="walter",
+        title="Coliseum interior",
+        tags=("coliseum", "rome"),
+        timestamp=1_325_376_000,
+        point=Point(12.4924, 41.8902),
+    ))
+    print(platform.dump_ntriples(), end="")
+    return 0
+
+
+_COMMANDS = {
+    "annotate": _cmd_annotate,
+    "detect": _cmd_detect,
+    "query": _cmd_query,
+    "demo": _cmd_demo,
+    "dump": _cmd_dump,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Context management platform simulation (paper §1.1 / §2.2.1)."""
+
+from .gazetteer import Gazetteer
+from .models import (
+    Buddy,
+    CalendarEntry,
+    CivicAddress,
+    GsmCell,
+    LocationContext,
+    UserContext,
+)
+from .provider import NEARBY_RADIUS_KM, ContextPlatform
+from .triple_tags import (
+    KNOWN_NAMESPACES,
+    TripleTag,
+    TripleTagError,
+    decode_value,
+    encode_value,
+    parse_triple_tag,
+    split_tags,
+    try_parse_triple_tag,
+)
+
+__all__ = [
+    "Buddy",
+    "CalendarEntry",
+    "CivicAddress",
+    "ContextPlatform",
+    "Gazetteer",
+    "GsmCell",
+    "KNOWN_NAMESPACES",
+    "LocationContext",
+    "NEARBY_RADIUS_KM",
+    "TripleTag",
+    "TripleTagError",
+    "UserContext",
+    "decode_value",
+    "encode_value",
+    "parse_triple_tag",
+    "split_tags",
+    "try_parse_triple_tag",
+]

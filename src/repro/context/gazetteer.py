@@ -1,0 +1,123 @@
+"""Gazetteer: GPS → civil address / nearest city / place labels.
+
+Stands in for the paper's locationing service ("our platform converts
+GPS coordinates whenever available from the device into civil
+addresses"). Backed by the same synthetic world as the LOD datasets, so
+the Geonames reference attached to a location is guaranteed to resolve —
+the property the paper relies on ("which validity is guaranteed by the
+locationing process itself").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..lod.world import CITIES, POIS, CityInfo, PoiInfo
+from ..lod.geonames import geonames_uri
+from ..rdf.terms import URIRef
+from ..sparql.geo import Point, haversine_km
+from .models import CivicAddress
+
+
+class Gazetteer:
+    """Nearest-city and nearest-POI lookups over the synthetic world."""
+
+    def __init__(
+        self,
+        cities: Optional[List[CityInfo]] = None,
+        pois: Optional[List[PoiInfo]] = None,
+    ) -> None:
+        self.cities = list(CITIES if cities is None else cities)
+        self.pois = list(POIS if pois is None else pois)
+
+    # ------------------------------------------------------------------
+    def nearest_city(self, point: Point) -> Tuple[CityInfo, float]:
+        """The nearest city and its distance in km."""
+        if not self.cities:
+            raise ValueError("gazetteer has no cities")
+        best = min(
+            self.cities,
+            key=lambda city: haversine_km(
+                point, Point(city.longitude, city.latitude)
+            ),
+        )
+        return best, haversine_km(
+            point, Point(best.longitude, best.latitude)
+        )
+
+    def reverse_geocode(self, point: Point) -> CivicAddress:
+        """GPS → civil address (street resolved from the nearest POI when
+        within walking distance)."""
+        city, _ = self.nearest_city(point)
+        street: Optional[str] = None
+        poi = self.nearest_poi(point, max_distance_km=0.25)
+        if poi is not None:
+            label = poi.labels.get("en") or next(iter(poi.labels.values()))
+            street = f"near {label}"
+        return CivicAddress(
+            city=city.labels["en"], country=city.country, street=street
+        )
+
+    def geonames_reference(self, point: Point) -> URIRef:
+        """The city-level Geonames resource for ``point`` (§2.2.1)."""
+        city, _ = self.nearest_city(point)
+        return geonames_uri(city.geonames_id)
+
+    # ------------------------------------------------------------------
+    def nearest_poi(
+        self,
+        point: Point,
+        max_distance_km: float = 1.0,
+        exclude_commercial: bool = False,
+    ) -> Optional[PoiInfo]:
+        """The nearest POI within ``max_distance_km`` (None if nothing)."""
+        best: Optional[PoiInfo] = None
+        best_distance = max_distance_km
+        for poi in self.pois:
+            if exclude_commercial and poi.commercial:
+                continue
+            distance = haversine_km(
+                point, Point(poi.longitude, poi.latitude)
+            )
+            if distance <= best_distance:
+                best = poi
+                best_distance = distance
+        return best
+
+    def search_pois(
+        self,
+        point: Point,
+        radius_km: float = 2.0,
+        category: Optional[str] = None,
+    ) -> List[Tuple[PoiInfo, float]]:
+        """POIs within ``radius_km`` of ``point``, nearest first.
+
+        This is the platform's POI search provider (the "Google Local"
+        stand-in) that the mobile app queries when a user associates a
+        content to a POI.
+        """
+        hits: List[Tuple[PoiInfo, float]] = []
+        for poi in self.pois:
+            if category is not None and poi.category != category:
+                continue
+            distance = haversine_km(
+                point, Point(poi.longitude, poi.latitude)
+            )
+            if distance <= radius_km:
+                hits.append((poi, distance))
+        hits.sort(key=lambda item: item[1])
+        return hits
+
+    def poi_by_recs_id(self, recs_id: int) -> Optional[PoiInfo]:
+        """Resolve the opaque ``poi:recs_id=N`` tag value to a POI.
+
+        The platform assigns sequential ids over its provider list; we
+        use the POI's position in the world list, 1-based.
+        """
+        if 1 <= recs_id <= len(self.pois):
+            return self.pois[recs_id - 1]
+        return None
+
+    def recs_id_for(self, poi: PoiInfo) -> int:
+        """Inverse of :meth:`poi_by_recs_id`."""
+        return self.pois.index(poi) + 1

@@ -1,0 +1,92 @@
+"""Context data model: what the context management platform returns.
+
+The paper's platform (Telecom Italia's context manager) supplies, for a
+user at a moment in time: a location (GPS + civil address + user-labeled
+place + a guaranteed Geonames reference), nearby buddies, the serving GSM
+cell and calendar entries. These dataclasses are that contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..rdf.terms import URIRef
+from ..sparql.geo import Point
+
+
+@dataclass(frozen=True)
+class CivicAddress:
+    """Reverse-geocoded civil address."""
+
+    city: str
+    country: str
+    street: Optional[str] = None
+
+    def display(self) -> str:
+        parts = [p for p in (self.street, self.city, self.country) if p]
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class GsmCell:
+    """Serving GSM cell in CGI form (MCC-MNC-LAC-CI)."""
+
+    mcc: int
+    mnc: int
+    lac: int
+    ci: int
+
+    @property
+    def cgi(self) -> str:
+        return f"{self.mcc}-{self.mnc}-{self.lac}-{self.ci}"
+
+
+@dataclass(frozen=True)
+class LocationContext:
+    """A contextualized location (paper §2.2.1)."""
+
+    point: Point
+    address: Optional[CivicAddress] = None
+    place_label: Optional[str] = None   # user-defined location label
+    place_type: Optional[str] = None    # e.g. "home", "office", "crowded"
+    geonames_resource: Optional[URIRef] = None
+    cell: Optional[GsmCell] = None
+
+
+@dataclass(frozen=True)
+class Buddy:
+    """A nearby friend: username, full name and a local RDF resource.
+
+    The paper evaluated linking buddies to external resources via Sindice
+    but turned it off for privacy — so only the local resource plus any
+    *declared* external accounts are kept.
+    """
+
+    username: str
+    full_name: str
+    resource: Optional[URIRef] = None
+    external_accounts: tuple = ()
+
+
+@dataclass(frozen=True)
+class CalendarEntry:
+    """A calendar entry overlapping the capture moment."""
+
+    title: str
+    start: int  # epoch seconds
+    end: int
+
+    def covers(self, timestamp: int) -> bool:
+        return self.start <= timestamp <= self.end
+
+
+@dataclass
+class UserContext:
+    """Everything the context platform knows for (user, timestamp)."""
+
+    username: str
+    timestamp: int
+    location: Optional[LocationContext] = None
+    buddies: List[Buddy] = field(default_factory=list)
+    calendar: List[CalendarEntry] = field(default_factory=list)

@@ -1,0 +1,133 @@
+"""Triple tags (machine tags) — the platform's pre-semantic annotation.
+
+The original platform (paper §1.1) carried "semantics" in triple tags of
+the form ``namespace:predicate=value`` — e.g. ``people:fn=Walter+Goix``,
+``cell:cgi=460-0-9522-3661``, ``place:is=crowded``, ``poi:recs_id=72`` —
+following the convention popularized by Flickr machine tags. This module
+is the codec plus the namespace registry, and it is the baseline the
+semantic layer replaces.
+
+Values are encoded with ``+`` for spaces (as in the paper's examples) and
+percent-escapes for the reserved characters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+#: Namespaces the platform emits; the paper highlights that ``address``
+#: and ``people`` were newly proposed next to the common geo namespaces.
+KNOWN_NAMESPACES = frozenset(
+    {"geo", "address", "people", "cell", "place", "poi", "time", "event"}
+)
+
+_TAG_RE = re.compile(
+    r"^(?P<namespace>[a-z][a-z0-9]*):(?P<predicate>[A-Za-z_][A-Za-z0-9_]*)"
+    r"=(?P<value>.*)$"
+)
+
+
+class TripleTagError(ValueError):
+    """Raised on malformed triple-tag text."""
+
+
+def encode_value(value: str) -> str:
+    """Encode a tag value: spaces become ``+``, reserved chars escape."""
+    out = []
+    for ch in value:
+        if ch == " ":
+            out.append("+")
+        elif ch in "%+=:":
+            out.append(f"%{ord(ch):02X}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def decode_value(text: str) -> str:
+    """Inverse of :func:`encode_value`."""
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "+":
+            out.append(" ")
+            i += 1
+        elif ch == "%":
+            if i + 2 >= len(text) + 1:
+                raise TripleTagError(f"truncated escape in {text!r}")
+            try:
+                out.append(chr(int(text[i + 1 : i + 3], 16)))
+            except ValueError as exc:
+                raise TripleTagError(
+                    f"bad escape in {text!r}"
+                ) from exc
+            i += 3
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class TripleTag:
+    """One machine tag: ``namespace:predicate=value``."""
+
+    namespace: str
+    predicate: str
+    value: str
+
+    def format(self) -> str:
+        return (
+            f"{self.namespace}:{self.predicate}={encode_value(self.value)}"
+        )
+
+    @property
+    def is_known_namespace(self) -> bool:
+        return self.namespace in KNOWN_NAMESPACES
+
+    def display(self) -> str:
+        """The "friendly format" the platform GUI shows for context tags."""
+        return f"{self.predicate}: {self.value}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def parse_triple_tag(text: str) -> TripleTag:
+    """Parse one ``namespace:predicate=value`` tag."""
+    match = _TAG_RE.match(text.strip())
+    if not match:
+        raise TripleTagError(f"not a triple tag: {text!r}")
+    return TripleTag(
+        namespace=match.group("namespace"),
+        predicate=match.group("predicate"),
+        value=decode_value(match.group("value")),
+    )
+
+
+def try_parse_triple_tag(text: str) -> Optional[TripleTag]:
+    """Like :func:`parse_triple_tag` but returns ``None`` on plain tags."""
+    try:
+        return parse_triple_tag(text)
+    except TripleTagError:
+        return None
+
+
+def split_tags(tags: Iterable[str]) -> tuple:
+    """Partition a tag list into (triple_tags, plain_tags).
+
+    This is the GUI optimization the paper mentions: context tags are
+    displayed separately from user-defined tags.
+    """
+    triple_tags: List[TripleTag] = []
+    plain_tags: List[str] = []
+    for tag in tags:
+        parsed = try_parse_triple_tag(tag)
+        if parsed is not None:
+            triple_tags.append(parsed)
+        else:
+            plain_tags.append(tag)
+    return triple_tags, plain_tags

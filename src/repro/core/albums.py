@@ -1,0 +1,138 @@
+"""Semantic virtual albums (paper §2.3).
+
+"Behind a virtual album stands a SPARQL query, which is able to retrieve
+the searched content dynamically with very precise search criteria."
+
+:class:`VirtualAlbum` wraps a SPARQL SELECT; the three builders below
+generate exactly the paper's worked queries, parameterized on the
+monument label, the radius, the friend-of user and the rating ordering:
+
+* :func:`geo_album` — query 1: UGC near a monument,
+* :func:`social_album` — query 2: + taken by friends of a user,
+* :func:`rated_album` — query 3: + ordered by rating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..rdf.terms import Literal
+from ..sparql.evaluator import Evaluator
+from ..sparql.results import SelectResult
+
+_PREFIXES = """\
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX sioct: <http://rdfs.org/sioc/types#>
+PREFIX comm: <http://comm.semanticweb.org/core.owl#>
+PREFIX rev: <http://purl.org/stuff/rev#>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX geo: <http://www.w3.org/2003/01/geo/wgs84_pos#>
+"""
+
+
+@dataclass
+class VirtualAlbum:
+    """A named dynamic collection backed by a SPARQL query."""
+
+    name: str
+    query: str
+
+    def fetch(self, evaluator: Evaluator) -> SelectResult:
+        result = evaluator.evaluate(self.query)
+        if not isinstance(result, SelectResult):
+            raise TypeError("virtual album queries must be SELECTs")
+        return result
+
+    def links(self, evaluator: Evaluator) -> List[str]:
+        """The retrieved content links (the album's rendering input)."""
+        return [
+            str(row["link"].lexical if isinstance(row.get("link"), Literal)
+                else row.get("link"))
+            for row in self.fetch(evaluator)
+            if row.get("link") is not None
+        ]
+
+
+def _label_term(monument_label: str, lang: Optional[str]) -> str:
+    literal = Literal(monument_label, lang=lang)
+    return literal.n3()
+
+
+def geo_album(
+    monument_label: str = "Mole Antonelliana",
+    lang: Optional[str] = "it",
+    radius_km: float = 0.3,
+) -> VirtualAlbum:
+    """Query 1: content taken near a monument."""
+    query = f"""{_PREFIXES}
+SELECT DISTINCT ?link WHERE {{
+  ?monument rdfs:label {_label_term(monument_label, lang)} .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  FILTER(bif:st_intersects(?location, ?sourceGEO, {radius_km})) .
+}}
+"""
+    return VirtualAlbum(
+        name=f"near {monument_label}",
+        query=query,
+    )
+
+
+def social_album(
+    monument_label: str = "Mole Antonelliana",
+    friend_of: str = "oscar",
+    lang: Optional[str] = "it",
+    radius_km: float = 0.3,
+) -> VirtualAlbum:
+    """Query 2: query 1 restricted to makers who know ``friend_of``."""
+    query = f"""{_PREFIXES}
+SELECT DISTINCT ?link WHERE {{
+  ?monument rdfs:label {_label_term(monument_label, lang)} .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  ?resource foaf:maker ?user .
+  ?target foaf:name {Literal(friend_of).n3()} .
+  ?user foaf:knows ?target .
+  FILTER( bif:st_intersects( ?location, ?sourceGEO, {radius_km} ) ) .
+}}
+"""
+    return VirtualAlbum(
+        name=f"near {monument_label} by friends of {friend_of}",
+        query=query,
+    )
+
+
+def rated_album(
+    monument_label: str = "Mole Antonelliana",
+    friend_of: str = "oscar",
+    lang: Optional[str] = "it",
+    radius_km: float = 0.3,
+) -> VirtualAlbum:
+    """Query 3: query 2 ordered by ``rev:rating`` descending."""
+    query = f"""{_PREFIXES}
+SELECT DISTINCT ?link ?points WHERE {{
+  ?monument rdfs:label {_label_term(monument_label, lang)} .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  ?resource foaf:maker ?user .
+  ?target foaf:name {Literal(friend_of).n3()} .
+  ?user foaf:knows ?target .
+  ?resource rev:rating ?points .
+  FILTER( bif:st_intersects( ?location, ?sourceGEO, {radius_km} ) ) .
+}}
+ORDER BY DESC(?points)
+"""
+    return VirtualAlbum(
+        name=(
+            f"highly-rated near {monument_label} "
+            f"by friends of {friend_of}"
+        ),
+        query=query,
+    )

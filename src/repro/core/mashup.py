@@ -1,0 +1,185 @@
+"""The "About" mashup (paper §4.1, Figure 4).
+
+Starting from a picture and its location, a single 4-branch UNION query
+collects, per branch with ``LIMIT 5``:
+
+1. the description of the city the tourist is in (DBpedia abstract,
+   joined to the LinkedGeoData city node by shared label, within 1 km);
+2. nearby restaurants and their websites (LinkedGeoData, 0.3 km);
+3. nearby tourist attractions (LinkedGeoData ``lgdo:Tourism``, 1 km);
+4. other user-generated content taken at the same location (0.2 km).
+
+The query text mirrors the paper's listing (with the PHP string
+concatenation replaced by proper parameterization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..rdf.namespace import TL_PID
+from ..rdf.terms import Literal, Term, URIRef
+from ..sparql.evaluator import Evaluator
+from ..sparql.results import SelectResult
+
+_PREFIXES = """\
+PREFIX dbpo: <http://dbpedia.org/ontology/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX lgdo: <http://linkedgeodata.org/ontology/>
+PREFIX comm: <http://comm.semanticweb.org/core.owl#>
+PREFIX sioct: <http://rdfs.org/sioc/types#>
+PREFIX geo: <http://www.w3.org/2003/01/geo/wgs84_pos#>
+"""
+
+
+def mashup_query(
+    pid: int,
+    language: str = "it",
+    city_radius_km: float = 1.0,
+    restaurant_radius_km: float = 0.3,
+    tourism_radius_km: float = 1.0,
+    ugc_radius_km: float = 0.2,
+    per_branch_limit: int = 5,
+) -> str:
+    """Build the paper's mashup query for picture ``pid``."""
+    picture = f"<{TL_PID[str(pid)]}>"
+    return f"""{_PREFIXES}
+SELECT DISTINCT ?lbl ?entType ?desc ?others WHERE {{
+  {{ SELECT DISTINCT ?lbl ?entType ?desc ?others WHERE {{
+       {picture} geo:geometry ?locPID .
+       ?city geo:geometry ?locCity .
+       ?city a ?entType .
+       ?city rdfs:label ?lbl .
+       ?others rdfs:label ?lbl .
+       ?others dbpo:abstract ?desc .
+       ?others a dbpo:Place .
+       FILTER (?entType in (lgdo:City)) .
+       FILTER langMatches(lang(?desc), '{language}') .
+       FILTER( bif:st_intersects( ?locPID, ?locCity,
+               {city_radius_km} ) ) .
+     }} LIMIT {per_branch_limit} }}
+  UNION
+  {{ SELECT DISTINCT ?lbl ?entType ?desc ?others WHERE {{
+       {picture} geo:geometry ?locPID .
+       ?others geo:geometry ?location .
+       ?others a ?entType .
+       ?others rdfs:label ?lbl .
+       OPTIONAL {{
+         ?others <http://linkedgeodata.org/property/website> ?desc }} .
+       FILTER (?entType in (lgdo:Restaurant)) .
+       FILTER( bif:st_intersects( ?locPID, ?location,
+               {restaurant_radius_km} ) ) .
+     }} LIMIT {per_branch_limit} }}
+  UNION
+  {{ SELECT DISTINCT ?lbl ?entType ?desc ?others WHERE {{
+       {picture} geo:geometry ?locPID .
+       ?others geo:geometry ?location .
+       ?others a ?entType .
+       ?others rdfs:label ?lbl .
+       OPTIONAL {{
+         ?others <http://linkedgeodata.org/property/website> ?desc }} .
+       FILTER (?entType in (lgdo:Tourism)) .
+       FILTER( bif:st_intersects( ?locPID, ?location,
+               {tourism_radius_km} ) ) .
+     }} LIMIT {per_branch_limit} }}
+  UNION
+  {{ SELECT DISTINCT ?lbl ?entType ?desc ?others WHERE {{
+       {picture} geo:geometry ?locPID .
+       ?others geo:geometry ?location .
+       ?others a ?entType .
+       ?others rdfs:label ?lbl .
+       ?others comm:image-data ?desc .
+       FILTER (?entType in (sioct:MicroblogPost)) .
+       FILTER (?others != {picture}) .
+       FILTER( bif:st_intersects( ?locPID, ?location,
+               {ugc_radius_km} ) ) .
+     }} LIMIT {per_branch_limit} }}
+}}
+"""
+
+
+@dataclass
+class MashupSection:
+    """One logical section of the About screen."""
+
+    kind: str  # city | restaurant | tourism | ugc
+    label: str
+    description: Optional[str]
+    resource: URIRef
+
+
+@dataclass
+class MashupView:
+    """The rendered About screen content."""
+
+    sections: Dict[str, List[MashupSection]]
+
+    def __getitem__(self, kind: str) -> List[MashupSection]:
+        return self.sections.get(kind, [])
+
+    @property
+    def total(self) -> int:
+        return sum(len(v) for v in self.sections.values())
+
+
+_KIND_BY_TYPE = {
+    "http://linkedgeodata.org/ontology/City": "city",
+    "http://linkedgeodata.org/ontology/Restaurant": "restaurant",
+    "http://linkedgeodata.org/ontology/Tourism": "tourism",
+    "http://rdfs.org/sioc/types#MicroblogPost": "ugc",
+}
+
+
+def run_mashup(
+    evaluator: Evaluator, pid: int, language: str = "it", **kwargs
+) -> MashupView:
+    """Execute the mashup query and group rows into screen sections."""
+    result = evaluator.evaluate(mashup_query(pid, language, **kwargs))
+    assert isinstance(result, SelectResult)
+    # group rows per (kind, resource); a resource may appear once per
+    # label language, so pick the label in the requested language when
+    # available (ties broken lexically for determinism)
+    grouped: Dict[tuple, List[dict]] = {}
+    for row in result:
+        entity_type = row.get("entType")
+        resource = row.get("others")
+        label = row.get("lbl")
+        if entity_type is None or resource is None or label is None:
+            continue
+        kind = _KIND_BY_TYPE.get(str(entity_type))
+        if kind is None:
+            continue
+        grouped.setdefault((kind, resource), []).append(row)
+
+    sections: Dict[str, List[MashupSection]] = {}
+    for (kind, resource), rows in sorted(
+        grouped.items(), key=lambda item: (item[0][0], str(item[0][1]))
+    ):
+        rows.sort(
+            key=lambda row: (
+                not (
+                    isinstance(row["lbl"], Literal)
+                    and row["lbl"].lang == language
+                ),
+                _lexical(row["lbl"]),
+            )
+        )
+        chosen = rows[0]
+        description = chosen.get("desc")
+        sections.setdefault(kind, []).append(
+            MashupSection(
+                kind=kind,
+                label=_lexical(chosen["lbl"]),
+                description=(
+                    _lexical(description) if description is not None
+                    else None
+                ),
+                resource=resource,
+            )
+        )
+    return MashupView(sections)
+
+
+def _lexical(term: Term) -> str:
+    return term.lexical if isinstance(term, Literal) else str(term)

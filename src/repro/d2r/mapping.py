@@ -1,0 +1,216 @@
+"""D2R-style mapping model.
+
+The paper lifts its relational gallery schema to RDF the way the D2R
+server's ``dump-rdf`` feature does (§2.1): each table's primary key mints
+the resource URI, intra-table columns become datatype properties,
+cross-table foreign keys become object properties, and the
+space-separated ``keywords`` column is split into one triple per keyword
+(§2.1.1 — "an 'all keywords' information is not useful").
+
+A mapping is a set of :class:`TableMap` objects, each holding:
+
+* a URI pattern (``{column}`` placeholders, normally the primary key),
+* an optional ``rdf:type`` class,
+* :class:`PropertyMap` — column → datatype property,
+* :class:`LinkMap` — FK column → object property to another table's URI,
+* :class:`KeywordSplitMap` — delimited text column → one triple per token.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping as TMapping, Optional
+
+from ..rdf.terms import Literal, URIRef, XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER
+from ..relational.table import ColumnType, Row
+
+_PLACEHOLDER_RE = re.compile(r"\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+
+class MappingError(ValueError):
+    """Invalid mapping definition or a row it cannot map."""
+
+
+@dataclass(frozen=True)
+class UriPattern:
+    """A URI template with ``{column}`` placeholders."""
+
+    template: str
+
+    def columns(self) -> List[str]:
+        return _PLACEHOLDER_RE.findall(self.template)
+
+    def expand(self, row: TMapping[str, Any]) -> URIRef:
+        def substitute(match: re.Match) -> str:
+            column = match.group(1)
+            if column not in row or row[column] is None:
+                raise MappingError(
+                    f"URI pattern {self.template!r} needs non-null "
+                    f"column {column!r}"
+                )
+            return _uri_escape(str(row[column]))
+
+        return URIRef(_PLACEHOLDER_RE.sub(substitute, self.template))
+
+
+def _uri_escape(text: str) -> str:
+    """Percent-encode characters unsafe inside a URI path segment."""
+    safe = []
+    for ch in text:
+        if (ch.isalnum() and ch.isascii()) or ch in "-._~":
+            safe.append(ch)
+        else:
+            safe.append("".join(f"%{b:02X}" for b in ch.encode("utf-8")))
+    return "".join(safe)
+
+
+@dataclass(frozen=True)
+class PropertyMap:
+    """Column → datatype property triple."""
+
+    column: str
+    predicate: URIRef
+    lang: Optional[str] = None
+    datatype: Optional[str] = None  # overrides the type-derived default
+
+
+@dataclass(frozen=True)
+class LinkMap:
+    """FK column → object property referencing another table's resources."""
+
+    column: str
+    predicate: URIRef
+    target_table: str
+
+
+@dataclass(frozen=True)
+class KeywordSplitMap:
+    """Delimited text column → one triple per token (paper §2.1.1)."""
+
+    column: str
+    predicate: URIRef
+    separator: str = " "
+    lowercase: bool = False
+
+
+@dataclass
+class TableMap:
+    """Complete mapping for one table."""
+
+    table: str
+    uri_pattern: UriPattern
+    rdf_class: Optional[URIRef] = None
+    properties: List[PropertyMap] = field(default_factory=list)
+    links: List[LinkMap] = field(default_factory=list)
+    keyword_splits: List[KeywordSplitMap] = field(default_factory=list)
+
+    def uri_for(self, row: TMapping[str, Any]) -> URIRef:
+        return self.uri_pattern.expand(row)
+
+
+@dataclass
+class D2RMapping:
+    """A set of table maps, addressable by table name."""
+
+    table_maps: Dict[str, TableMap] = field(default_factory=dict)
+
+    def add(self, table_map: TableMap) -> "D2RMapping":
+        if table_map.table in self.table_maps:
+            raise MappingError(
+                f"duplicate map for table {table_map.table!r}"
+            )
+        self.table_maps[table_map.table] = table_map
+        return self
+
+    def for_table(self, table: str) -> TableMap:
+        if table not in self.table_maps:
+            raise MappingError(f"no map for table {table!r}")
+        return self.table_maps[table]
+
+    def __contains__(self, table: str) -> bool:
+        return table in self.table_maps
+
+    def __len__(self) -> int:
+        return len(self.table_maps)
+
+    @classmethod
+    def from_dict(cls, spec: TMapping[str, Any]) -> "D2RMapping":
+        """Build a mapping from a declarative dict (the "mapping file").
+
+        Shape::
+
+            {"pictures": {
+                "uri": "http://host/pictures/{pid}",
+                "class": "http://rdfs.org/sioc/types#MicroblogPost",
+                "properties": [
+                    {"column": "title", "predicate": ".../title",
+                     "lang": "it"},
+                ],
+                "links": [
+                    {"column": "owner_id", "predicate": ".../maker",
+                     "table": "users"},
+                ],
+                "keywords": [
+                    {"column": "keywords", "predicate": ".../keyword",
+                     "separator": " "},
+                ],
+            }}
+        """
+        mapping = cls()
+        for table, entry in spec.items():
+            if "uri" not in entry:
+                raise MappingError(f"map for {table!r} lacks 'uri'")
+            table_map = TableMap(
+                table=table,
+                uri_pattern=UriPattern(entry["uri"]),
+                rdf_class=URIRef(entry["class"]) if "class" in entry
+                else None,
+            )
+            for prop in entry.get("properties", ()):
+                table_map.properties.append(
+                    PropertyMap(
+                        column=prop["column"],
+                        predicate=URIRef(prop["predicate"]),
+                        lang=prop.get("lang"),
+                        datatype=prop.get("datatype"),
+                    )
+                )
+            for link in entry.get("links", ()):
+                table_map.links.append(
+                    LinkMap(
+                        column=link["column"],
+                        predicate=URIRef(link["predicate"]),
+                        target_table=link["table"],
+                    )
+                )
+            for keywords in entry.get("keywords", ()):
+                table_map.keyword_splits.append(
+                    KeywordSplitMap(
+                        column=keywords["column"],
+                        predicate=URIRef(keywords["predicate"]),
+                        separator=keywords.get("separator", " "),
+                        lowercase=keywords.get("lowercase", False),
+                    )
+                )
+            mapping.add(table_map)
+        return mapping
+
+
+def literal_for(column_type: ColumnType, value: Any,
+                lang: Optional[str] = None,
+                datatype: Optional[str] = None) -> Literal:
+    """Build the literal for a column value following D2R's conventions."""
+    if datatype is not None:
+        return Literal(str(value), datatype=datatype)
+    if lang is not None:
+        return Literal(str(value), lang=lang)
+    if column_type is ColumnType.INTEGER:
+        return Literal(int(value))
+    if column_type is ColumnType.REAL:
+        return Literal(float(value))
+    if column_type is ColumnType.BOOLEAN:
+        return Literal(bool(value))
+    if column_type is ColumnType.TIMESTAMP and isinstance(value, int):
+        return Literal(value, datatype=XSD_INTEGER)
+    return Literal(str(value))

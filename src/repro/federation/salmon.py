@@ -1,0 +1,89 @@
+"""Salmon-style upstream replies (paper §6.2).
+
+"A Salmon protocol implementation to comment and annotate the original
+sources of updates and content." — replies made downstream "swim
+upstream" to the node hosting the original content, carried as signed
+envelopes. Signatures here are HMACs over the payload with a per-node
+key registered in the federation's key directory (standing in for the
+magic-signature public keys).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class SalmonError(Exception):
+    """Bad envelope, unknown signer or signature mismatch."""
+
+
+@dataclass(frozen=True)
+class Slap:
+    """A salmon "slap": a reply/mention heading upstream."""
+
+    author: str        # acct:user@domain
+    in_reply_to: str   # content URL on the upstream node
+    content: str
+    published: int
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A signed slap."""
+
+    slap: Slap
+    signer_domain: str
+    signature: str
+
+
+class KeyDirectory:
+    """Per-domain signing keys (the magic-signature key registry)."""
+
+    def __init__(self) -> None:
+        self._keys: Dict[str, bytes] = {}
+
+    def register(self, domain: str, key: bytes) -> None:
+        self._keys[domain.lower()] = key
+
+    def key_for(self, domain: str) -> bytes:
+        key = self._keys.get(domain.lower())
+        if key is None:
+            raise SalmonError(f"no key for domain {domain}")
+        return key
+
+
+def _payload(slap: Slap) -> bytes:
+    return "\n".join(
+        (slap.author, slap.in_reply_to, slap.content,
+         str(slap.published))
+    ).encode("utf-8")
+
+
+def sign_slap(
+    slap: Slap, signer_domain: str, directory: KeyDirectory
+) -> Envelope:
+    key = directory.key_for(signer_domain)
+    signature = hmac.new(key, _payload(slap), hashlib.sha256).hexdigest()
+    return Envelope(slap, signer_domain, signature)
+
+
+def verify_envelope(
+    envelope: Envelope, directory: KeyDirectory
+) -> Slap:
+    """Verify and open an envelope; raises :class:`SalmonError` on any
+    mismatch (forged content, wrong signer, unknown domain)."""
+    key = directory.key_for(envelope.signer_domain)
+    expected = hmac.new(
+        key, _payload(envelope.slap), hashlib.sha256
+    ).hexdigest()
+    if not hmac.compare_digest(expected, envelope.signature):
+        raise SalmonError("signature mismatch")
+    author_domain = envelope.slap.author.rsplit("@", 1)[-1].lower()
+    if author_domain != envelope.signer_domain.lower():
+        raise SalmonError(
+            "author domain does not match signing domain"
+        )
+    return envelope.slap

@@ -1,0 +1,136 @@
+"""UPnP-style home media sharing (paper §6.1 / §6.3).
+
+The home network device acts as a UPnP media server: compatible home
+devices (TVs, photo frames) discover it, browse its content directory
+(organized by user and album) and request items for playback. The
+paper's example — "a UPnP-compatible photoframe displaying a real-time
+slideshow of the media content that a family member is taking during his
+holidays" — is reproduced by combining this directory with the pub/sub
+notifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class UpnpError(Exception):
+    """Unknown container or item."""
+
+
+@dataclass(frozen=True)
+class MediaItem:
+    """One playable item of the content directory."""
+
+    item_id: str
+    title: str
+    media_url: str
+    media_class: str = "object.item.imageItem.photo"
+
+
+@dataclass
+class Container:
+    """A browsable folder."""
+
+    container_id: str
+    title: str
+    children: List[str] = field(default_factory=list)  # container ids
+    items: List[MediaItem] = field(default_factory=list)
+
+
+class MediaServer:
+    """The UPnP media server on the home network device."""
+
+    def __init__(self, friendly_name: str) -> None:
+        self.friendly_name = friendly_name
+        self._containers: Dict[str, Container] = {
+            "0": Container("0", "Root")
+        }
+        self._items: Dict[str, MediaItem] = {}
+
+    # ------------------------------------------------------------------
+    def add_container(
+        self, container_id: str, title: str, parent: str = "0"
+    ) -> Container:
+        if container_id in self._containers:
+            raise UpnpError(f"container exists: {container_id}")
+        parent_container = self._container(parent)
+        container = Container(container_id, title)
+        self._containers[container_id] = container
+        parent_container.children.append(container_id)
+        return container
+
+    def add_item(self, container_id: str, item: MediaItem) -> None:
+        container = self._container(container_id)
+        if item.item_id in self._items:
+            raise UpnpError(f"item exists: {item.item_id}")
+        self._items[item.item_id] = item
+        container.items.append(item)
+
+    def _container(self, container_id: str) -> Container:
+        if container_id not in self._containers:
+            raise UpnpError(f"no container: {container_id}")
+        return self._containers[container_id]
+
+    # ------------------------------------------------------------------
+    # The ContentDirectory Browse action
+    # ------------------------------------------------------------------
+    def browse(self, container_id: str = "0") -> Dict[str, list]:
+        """Children and items of a container (Browse/DirectChildren)."""
+        container = self._container(container_id)
+        return {
+            "containers": [
+                self._containers[c] for c in container.children
+            ],
+            "items": list(container.items),
+        }
+
+    def request_playback(self, item_id: str) -> str:
+        """A device requests a file for playback; returns the media URL."""
+        if item_id not in self._items:
+            raise UpnpError(f"no item: {item_id}")
+        return self._items[item_id].media_url
+
+
+class SsdpRegistry:
+    """Very small SSDP stand-in: device discovery on the home network."""
+
+    def __init__(self) -> None:
+        self._servers: List[MediaServer] = []
+
+    def advertise(self, server: MediaServer) -> None:
+        self._servers.append(server)
+
+    def discover(self) -> List[MediaServer]:
+        """What an M-SEARCH for MediaServer devices returns."""
+        return list(self._servers)
+
+
+class PhotoFrame:
+    """A UPnP-compatible photo frame running a slideshow."""
+
+    def __init__(self, registry: SsdpRegistry) -> None:
+        self.registry = registry
+        self.slideshow: List[str] = []
+
+    def refresh(self, container_id: str = "0") -> int:
+        """Discover a media server and (re)load the slideshow."""
+        servers = self.registry.discover()
+        if not servers:
+            return 0
+        server = servers[0]
+        listing = server.browse(container_id)
+        self.slideshow = [
+            server.request_playback(item.item_id)
+            for item in listing["items"]
+        ]
+        return len(self.slideshow)
+
+    def on_new_content(self, topic: str, payload) -> None:
+        """PubSub callback: append freshly-published media in real time."""
+        media_url = payload.get("media_url") if isinstance(
+            payload, dict
+        ) else None
+        if media_url:
+            self.slideshow.append(media_url)

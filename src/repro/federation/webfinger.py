@@ -1,0 +1,96 @@
+"""WebFinger-style identity discovery (paper §6.2).
+
+"A Webfinger protocol implementation enables the identification of
+users across different social networks and the identity validation."
+
+Identifiers are ``acct:user@domain``; lookups return a JRD-like
+descriptor with the user's profile, FOAF document and activity feed
+links on their home node.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_ACCT_RE = re.compile(r"^(?:acct:)?([A-Za-z0-9._-]+)@([A-Za-z0-9.-]+)$")
+
+
+class WebFingerError(Exception):
+    """Malformed account or unknown domain/user."""
+
+
+@dataclass(frozen=True)
+class Account:
+    """A parsed ``acct:`` identifier."""
+
+    user: str
+    domain: str
+
+    @property
+    def acct(self) -> str:
+        return f"acct:{self.user}@{self.domain}"
+
+
+def parse_account(identifier: str) -> Account:
+    match = _ACCT_RE.match(identifier.strip())
+    if not match:
+        raise WebFingerError(f"not an account identifier: {identifier!r}")
+    return Account(match.group(1), match.group(2).lower())
+
+
+@dataclass
+class Descriptor:
+    """The JRD-ish resource descriptor returned by a lookup."""
+
+    subject: str
+    links: Dict[str, str] = field(default_factory=dict)
+    properties: Dict[str, str] = field(default_factory=dict)
+
+
+class WebFingerDirectory:
+    """The federation-wide account directory (DNS + /.well-known)."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, "object"] = {}
+
+    def register_node(self, node) -> None:
+        domain = node.domain.lower()
+        if domain in self._nodes:
+            raise WebFingerError(f"domain already registered: {domain}")
+        self._nodes[domain] = node
+
+    def node_for(self, domain: str):
+        node = self._nodes.get(domain.lower())
+        if node is None:
+            raise WebFingerError(f"unknown domain: {domain}")
+        return node
+
+    def lookup(self, identifier: str) -> Descriptor:
+        """Resolve an ``acct:`` identifier to its descriptor."""
+        account = parse_account(identifier)
+        node = self.node_for(account.domain)
+        if not node.has_member(account.user):
+            raise WebFingerError(
+                f"no user {account.user!r} at {account.domain}"
+            )
+        base = f"https://{account.domain}"
+        return Descriptor(
+            subject=account.acct,
+            links={
+                "profile": f"{base}/people/{account.user}",
+                "describedby": f"{base}/people/{account.user}/foaf",
+                "activity": f"{base}/people/{account.user}/activity",
+                "salmon": f"{base}/salmon/{account.user}",
+            },
+            properties={"name": node.member_full_name(account.user)},
+        )
+
+    def validate(self, identifier: str) -> bool:
+        """Identity validation: does the account actually exist?"""
+        try:
+            self.lookup(identifier)
+            return True
+        except WebFingerError:
+            return False

@@ -1,0 +1,79 @@
+"""NLP substrate: language identification, morphology, similarity.
+
+Stands in for the paper's ``Text_LanguageDetect`` (Cavnar–Trenkle n-gram
+language identification) and FreeLing (morphological analysis with
+multiword lemmas and proper-noun extraction), plus the Jaro-Winkler
+similarity used by the annotation filter.
+"""
+
+from .langdetect import (
+    Detection,
+    LanguageDetector,
+    build_profile,
+    default_detector,
+    detect_language,
+)
+from .lexicon import MULTIWORDS, common_words_for, lemma_exceptions_for
+from .morpho import (
+    AnalyzedToken,
+    MorphologicalAnalyzer,
+    POS_COMMON,
+    POS_FUNCTION,
+    POS_NUMBER,
+    POS_PROPER,
+    POS_WORD,
+)
+from .profiles import SAMPLE_TEXT, SUPPORTED_LANGUAGES
+from .senses import (
+    Sense,
+    is_concrete_noun,
+    prune_abstract,
+    sense_of,
+)
+from .similarity import (
+    best_match,
+    jaro,
+    jaro_winkler,
+    jaro_winkler_ci,
+    levenshtein,
+    normalized_levenshtein,
+)
+from .stopwords import is_stopword, stopwords_for
+from .termfreq import relevant_words
+from .tokenizer import RawToken, tokenize, words
+
+__all__ = [
+    "AnalyzedToken",
+    "Detection",
+    "LanguageDetector",
+    "MULTIWORDS",
+    "MorphologicalAnalyzer",
+    "POS_COMMON",
+    "POS_FUNCTION",
+    "POS_NUMBER",
+    "POS_PROPER",
+    "POS_WORD",
+    "RawToken",
+    "SAMPLE_TEXT",
+    "SUPPORTED_LANGUAGES",
+    "Sense",
+    "best_match",
+    "build_profile",
+    "common_words_for",
+    "default_detector",
+    "detect_language",
+    "is_stopword",
+    "jaro",
+    "jaro_winkler",
+    "jaro_winkler_ci",
+    "lemma_exceptions_for",
+    "levenshtein",
+    "normalized_levenshtein",
+    "is_concrete_noun",
+    "prune_abstract",
+    "relevant_words",
+    "sense_of",
+    "stopwords_for",
+    "tokenize",
+    "words",
+]

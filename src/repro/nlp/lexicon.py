@@ -1,0 +1,134 @@
+"""Per-language lexical resources for the morphological analyzer.
+
+Three resources per language:
+
+* ``COMMON_WORDS`` — frequent common nouns/verbs/adjectives of the
+  eTourism register. A capitalized sentence-initial token found here is
+  almost certainly *not* a proper noun, so it scores below the pipeline's
+  0.2 NP threshold.
+* ``LEMMA_EXCEPTIONS`` — irregular form → lemma pairs.
+* ``MULTIWORDS`` — the multiword gazetteer (FreeLing's locutions file
+  stand-in): known multi-token expressions detected as single lemmas,
+  which is the FreeLing capability the paper says motivated choosing it
+  over TreeTagger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+COMMON_WORDS: Dict[str, FrozenSet[str]] = {
+    "en": frozenset(
+        """picture pictures photo photos view views trip trips night day
+        morning evening sunset sunrise dinner lunch breakfast walk walks
+        visit visits square street river tower bridge museum church
+        castle palace market station garden park mountain lake beach
+        holiday holidays vacation weekend friend friends family city town
+        village food wine coffee beautiful amazing wonderful great nice
+        old new big small difference joyness happiness love time year
+        today tonight yesterday tomorrow""".split()
+    ),
+    "it": frozenset(
+        """foto fotografia fotografie vista viste viaggio viaggi notte
+        giorno mattina sera tramonto alba cena pranzo colazione
+        passeggiata visita visite piazza via fiume torre ponte museo
+        chiesa castello palazzo mercato stazione giardino parco montagna
+        lago spiaggia vacanza vacanze amico amici famiglia città paese
+        cibo vino caffè bello bella bellissimo bellissima stupendo
+        meraviglioso grande piccolo vecchio nuovo differenza gioia
+        felicità amore tempo anno oggi stasera ieri domani""".split()
+    ),
+    "fr": frozenset(
+        """photo photos vue vues voyage voyages nuit jour matin soir
+        coucher aube dîner déjeuner promenade visite visites place rue
+        fleuve tour pont musée église château palais marché gare jardin
+        parc montagne lac plage vacances ami amis famille ville village
+        nourriture vin café beau belle magnifique merveilleux grand petit
+        vieux nouveau différence joie bonheur amour temps année
+        aujourd'hui hier demain""".split()
+    ),
+    "es": frozenset(
+        """foto fotos vista vistas viaje viajes noche día mañana tarde
+        atardecer amanecer cena almuerzo desayuno paseo visita visitas
+        plaza calle río torre puente museo iglesia castillo palacio
+        mercado estación jardín parque montaña lago playa vacaciones
+        amigo amigos familia ciudad pueblo comida vino café hermoso
+        hermosa maravilloso grande pequeño viejo nuevo diferencia alegría
+        felicidad amor tiempo año hoy ayer mañana""".split()
+    ),
+    "de": frozenset(
+        """foto fotos bild bilder aussicht reise reisen nacht tag morgen
+        abend sonnenuntergang sonnenaufgang abendessen mittagessen
+        frühstück spaziergang besuch platz straße fluss turm brücke
+        museum kirche schloss palast markt bahnhof garten park berg see
+        strand urlaub ferien freund freunde familie stadt dorf essen wein
+        kaffee schön wunderbar groß klein alt neu unterschied freude
+        glück liebe zeit jahr heute gestern""".split()
+    ),
+}
+
+LEMMA_EXCEPTIONS: Dict[str, Dict[str, str]] = {
+    "en": {
+        "pictures": "picture", "photos": "photo", "children": "child",
+        "people": "person", "men": "man", "women": "woman",
+        "cities": "city", "churches": "church", "was": "be", "were": "be",
+        "is": "be", "are": "be", "went": "go", "taken": "take",
+        "took": "take", "seen": "see", "saw": "see", "feet": "foot",
+    },
+    "it": {
+        "città": "città", "caffè": "caffè", "uomini": "uomo",
+        "donne": "donna", "amici": "amico", "laghi": "lago",
+        "luoghi": "luogo", "viaggi": "viaggio", "musei": "museo",
+        "chiese": "chiesa", "palazzi": "palazzo", "ponti": "ponte",
+    },
+    "fr": {
+        "yeux": "œil", "chevaux": "cheval", "musées": "musée",
+        "châteaux": "château", "voyages": "voyage",
+    },
+    "es": {
+        "ciudades": "ciudad", "viajes": "viaje", "museos": "museo",
+        "iglesias": "iglesia", "luces": "luz",
+    },
+    "de": {
+        "bilder": "bild", "städte": "stadt", "brücken": "brücke",
+        "türme": "turm", "flüsse": "fluss",
+    },
+}
+
+#: Multiword gazetteer (lower-cased token tuples → canonical form).
+MULTIWORDS: Dict[Tuple[str, ...], str] = {
+    ("mole", "antonelliana"): "Mole Antonelliana",
+    ("piazza", "castello"): "Piazza Castello",
+    ("piazza", "san", "carlo"): "Piazza San Carlo",
+    ("porta", "nuova"): "Porta Nuova",
+    ("palazzo", "madama"): "Palazzo Madama",
+    ("palazzo", "reale"): "Palazzo Reale",
+    ("gran", "madre"): "Gran Madre",
+    ("parco", "del", "valentino"): "Parco del Valentino",
+    ("museo", "egizio"): "Museo Egizio",
+    ("juventus", "stadium"): "Juventus Stadium",
+    ("monte", "dei", "cappuccini"): "Monte dei Cappuccini",
+    ("reggia", "di", "venaria"): "Reggia di Venaria",
+    ("sacra", "di", "san", "michele"): "Sacra di San Michele",
+    ("roman", "colosseum"): "Roman Colosseum",
+    ("trevi", "fountain"): "Trevi Fountain",
+    ("fontana", "di", "trevi"): "Fontana di Trevi",
+    ("eiffel", "tower"): "Eiffel Tower",
+    ("tour", "eiffel"): "Tour Eiffel",
+    ("notre", "dame"): "Notre Dame",
+    ("sagrada", "familia"): "Sagrada Familia",
+    ("plaza", "mayor"): "Plaza Mayor",
+    ("brandenburg", "gate"): "Brandenburg Gate",
+    ("new", "york"): "New York",
+    ("san", "salvario"): "San Salvario",
+    ("via", "roma"): "Via Roma",
+    ("walter", "goix"): "Walter Goix",
+}
+
+
+def common_words_for(language: str) -> FrozenSet[str]:
+    return COMMON_WORDS.get(language, frozenset())
+
+
+def lemma_exceptions_for(language: str) -> Dict[str, str]:
+    return LEMMA_EXCEPTIONS.get(language, {})

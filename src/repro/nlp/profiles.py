@@ -1,0 +1,147 @@
+"""Training text for the language-identification profiles.
+
+One paragraph of ordinary prose per supported language. The profiles are
+character n-gram rank lists computed from these samples (Cavnar &
+Trenkle 1994 — the algorithm behind the PHP ``Text_LanguageDetect``
+package the paper cites as [3]/[4]). The samples lean on the paper's
+domain — travel, cities, photography — so short eTourism titles detect
+reliably.
+"""
+
+from __future__ import annotations
+
+#: Extra colloquial passages concatenated to the base samples; short
+#: photo-title language (what the platform actually sees) leans on these
+#: function words and suffixes.
+_EXTRA = {
+    "en": (
+        " A quick walk today with my friends near the old gate. We had "
+        "a great dinner and then watched the sunset from the hill over "
+        "the town. What a wonderful weekend away from work, just us and "
+        "the quiet evening light over the water."
+    ),
+    "it": (
+        " Una passeggiata veloce oggi con i miei amici vicino alla "
+        "porta antica. Abbiamo fatto una cena stupenda e poi abbiamo "
+        "guardato il tramonto dalla collina sopra la città. Che weekend "
+        "meraviglioso lontano dal lavoro, solo noi e la luce tranquilla "
+        "della sera sull'acqua. Stasera si torna a casa in treno."
+    ),
+    "fr": (
+        " Une promenade rapide aujourd'hui avec mes amis près de la "
+        "vieille porte. Nous avons fait un dîner magnifique et puis "
+        "nous avons regardé le coucher du soleil depuis la colline "
+        "au-dessus de la ville. Quel week-end merveilleux loin du "
+        "travail, juste nous et la lumière tranquille du soir sur "
+        "l'eau. Ce soir on rentre à la maison en train."
+    ),
+    "es": (
+        " Un paseo rápido hoy con mis amigos cerca de la puerta "
+        "antigua. Hicimos una cena estupenda y luego miramos el "
+        "atardecer desde la colina sobre el pueblo. Qué fin de semana "
+        "tan maravilloso lejos del trabajo, solo nosotros y la luz "
+        "tranquila de la tarde sobre el agua. Esta noche volvemos a "
+        "casa en tren."
+    ),
+    "de": (
+        " Ein schneller Spaziergang heute mit meinen Freunden in der "
+        "Nähe des alten Tores. Wir hatten ein großartiges Abendessen "
+        "und haben dann den Sonnenuntergang vom Hügel über der Stadt "
+        "beobachtet. Was für ein wunderbares Wochenende weit weg von "
+        "der Arbeit, nur wir und das ruhige Abendlicht über dem "
+        "Wasser. Heute Abend fahren wir mit dem Zug nach Hause."
+    ),
+}
+
+SAMPLE_TEXT = {
+    "en": (
+        "The city welcomes visitors from all over the world during the "
+        "summer months. Tourists walk through the old town, take pictures "
+        "of the famous monuments and share them with their friends. "
+        "The museum near the central square hosts a large collection of "
+        "modern art, and the view from the tower is one of the best in "
+        "the whole country. People like to sit in small cafes, drink "
+        "coffee and watch the life of the streets. A short trip by train "
+        "brings you to the mountains, where many families spend their "
+        "holidays walking along the lakes. Photography is allowed almost "
+        "everywhere, and the light in the early morning makes every "
+        "picture beautiful. When the night comes, the bridges and towers "
+        "are illuminated and the river reflects a thousand lights. This "
+        "is the best time of the year to discover hidden places and "
+        "taste the local food in the market."
+    ),
+    "it": (
+        "La città accoglie i visitatori da tutto il mondo durante i mesi "
+        "estivi. I turisti passeggiano per il centro storico, scattano "
+        "fotografie dei monumenti famosi e le condividono con i loro "
+        "amici. Il museo vicino alla piazza centrale ospita una grande "
+        "collezione di arte moderna, e la vista dalla torre è una delle "
+        "più belle di tutto il paese. Alla gente piace sedersi nei "
+        "piccoli caffè, bere un espresso e guardare la vita delle "
+        "strade. Un breve viaggio in treno porta alle montagne, dove "
+        "molte famiglie passano le vacanze camminando lungo i laghi. "
+        "La fotografia è permessa quasi ovunque, e la luce del primo "
+        "mattino rende ogni immagine bellissima. Quando arriva la notte, "
+        "i ponti e le torri sono illuminati e il fiume riflette mille "
+        "luci. Questo è il periodo migliore dell'anno per scoprire "
+        "luoghi nascosti e assaggiare il cibo locale al mercato."
+    ),
+    "fr": (
+        "La ville accueille des visiteurs du monde entier pendant les "
+        "mois d'été. Les touristes se promènent dans la vieille ville, "
+        "prennent des photos des monuments célèbres et les partagent "
+        "avec leurs amis. Le musée près de la place centrale abrite une "
+        "grande collection d'art moderne, et la vue depuis la tour est "
+        "l'une des plus belles de tout le pays. Les gens aiment "
+        "s'asseoir dans les petits cafés, boire un café et regarder la "
+        "vie des rues. Un court voyage en train vous amène aux "
+        "montagnes, où beaucoup de familles passent leurs vacances en "
+        "marchant le long des lacs. La photographie est permise presque "
+        "partout, et la lumière du petit matin rend chaque image "
+        "magnifique. Quand la nuit tombe, les ponts et les tours sont "
+        "illuminés et le fleuve reflète mille lumières. C'est le "
+        "meilleur moment de l'année pour découvrir des endroits cachés "
+        "et goûter la cuisine locale au marché."
+    ),
+    "es": (
+        "La ciudad recibe visitantes de todo el mundo durante los meses "
+        "de verano. Los turistas pasean por el casco antiguo, toman "
+        "fotografías de los monumentos famosos y las comparten con sus "
+        "amigos. El museo cerca de la plaza central alberga una gran "
+        "colección de arte moderno, y la vista desde la torre es una de "
+        "las más hermosas de todo el país. A la gente le gusta sentarse "
+        "en los pequeños cafés, tomar un café y mirar la vida de las "
+        "calles. Un corto viaje en tren te lleva a las montañas, donde "
+        "muchas familias pasan sus vacaciones caminando junto a los "
+        "lagos. La fotografía está permitida casi en todas partes, y la "
+        "luz de la mañana temprana hace que cada imagen sea hermosa. "
+        "Cuando llega la noche, los puentes y las torres se iluminan y "
+        "el río refleja mil luces. Este es el mejor momento del año "
+        "para descubrir lugares escondidos y probar la comida local en "
+        "el mercado."
+    ),
+    "de": (
+        "Die Stadt empfängt Besucher aus der ganzen Welt während der "
+        "Sommermonate. Die Touristen spazieren durch die Altstadt, "
+        "machen Fotos von den berühmten Denkmälern und teilen sie mit "
+        "ihren Freunden. Das Museum in der Nähe des zentralen Platzes "
+        "beherbergt eine große Sammlung moderner Kunst, und die "
+        "Aussicht vom Turm ist eine der schönsten des ganzen Landes. "
+        "Die Menschen sitzen gerne in kleinen Cafés, trinken Kaffee und "
+        "beobachten das Leben der Straßen. Eine kurze Zugfahrt bringt "
+        "Sie in die Berge, wo viele Familien ihren Urlaub verbringen "
+        "und an den Seen entlang wandern. Das Fotografieren ist fast "
+        "überall erlaubt, und das Licht am frühen Morgen macht jedes "
+        "Bild wunderschön. Wenn die Nacht kommt, werden die Brücken und "
+        "Türme beleuchtet und der Fluss spiegelt tausend Lichter. Dies "
+        "ist die beste Zeit des Jahres, um versteckte Orte zu entdecken "
+        "und das lokale Essen auf dem Markt zu probieren."
+    ),
+}
+
+SAMPLE_TEXT = {
+    lang: text + _EXTRA.get(lang, "")
+    for lang, text in SAMPLE_TEXT.items()
+}
+
+SUPPORTED_LANGUAGES = tuple(sorted(SAMPLE_TEXT))

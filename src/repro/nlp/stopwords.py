@@ -1,0 +1,59 @@
+"""Small per-language stopword/function-word lists.
+
+Used by the morphological analyzer to down-score sentence-initial
+capitalized function words and by term-frequency extraction to avoid
+proposing articles and prepositions as "relevant words".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+STOPWORDS = {
+    "en": frozenset(
+        """a an and are as at be but by for from has have he her his i in
+        is it its my of on or our she so that the their them they this to
+        was we were with you your not no near during while when where who
+        what how very into over under after before between about against
+        up down out off then once here there all any both each few more
+        most other some such only own same than too can will just""".split()
+    ),
+    "it": frozenset(
+        """il lo la i gli le un uno una di a da in con su per tra fra e o
+        ma se che chi cui non più anche come dove quando mentre questo
+        questa questi queste quello quella quelli quelle mio tuo suo
+        nostro vostro loro al allo alla ai agli alle del dello della dei
+        degli delle dal dallo dalla dai dagli dalle nel nello nella nei
+        negli nelle sul sullo sulla sui sugli sulle è sono era erano ho
+        hai ha abbiamo avete hanno presso vicino durante verso senza""".split()
+    ),
+    "fr": frozenset(
+        """le la les un une des du de à au aux et ou mais si que qui dont
+        où quand pendant ce cette ces mon ton son notre votre leur je tu
+        il elle nous vous ils elles ne pas plus aussi comme dans sur sous
+        avec sans pour par est sont était chez près vers entre très""".split()
+    ),
+    "es": frozenset(
+        """el la los las un una unos unas de a en con por para entre y o
+        pero si que quien cuyo donde cuando durante este esta estos estas
+        ese esa esos esas mi tu su nuestro vuestro no más también como
+        sobre bajo sin es son era estaba cerca hacia muy ya lo al
+        del""".split()
+    ),
+    "de": frozenset(
+        """der die das ein eine einer eines dem den und oder aber wenn
+        dass wer wen wem wo wann während dieser diese dieses mein dein
+        sein unser euer ihr ich du er sie es wir nicht mehr auch wie in
+        auf unter mit ohne für durch ist sind war bei nahe nach vor
+        zwischen sehr zu vom zum zur im am""".split()
+    ),
+}
+
+
+def stopwords_for(language: str) -> FrozenSet[str]:
+    """Stopword set for ``language`` (empty set when unsupported)."""
+    return STOPWORDS.get(language, frozenset())
+
+
+def is_stopword(word: str, language: str) -> bool:
+    return word.lower() in stopwords_for(language)

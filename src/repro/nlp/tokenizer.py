@@ -1,0 +1,67 @@
+"""Word tokenization preserving case and sentence boundaries.
+
+The morphological analyzer needs to know whether a capitalized token is
+sentence-initial (weaker proper-noun evidence) or sentence-internal
+(strong evidence), so tokens carry their position.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+_TOKEN_RE = re.compile(
+    r"[^\W_]+(?:['’\-][^\W_]+)*",  # words incl. apostrophes and hyphens
+    re.UNICODE,
+)
+_SENTENCE_END_RE = re.compile(r"[.!?]+")
+
+
+@dataclass(frozen=True)
+class RawToken:
+    """A surface token with its offsets and sentence position."""
+
+    text: str
+    start: int
+    end: int
+    sentence_initial: bool
+
+    @property
+    def is_capitalized(self) -> bool:
+        return self.text[:1].isupper()
+
+    @property
+    def is_all_caps(self) -> bool:
+        return len(self.text) > 1 and self.text.isupper()
+
+    @property
+    def is_numeric(self) -> bool:
+        return bool(re.fullmatch(r"[\d.,]+", self.text))
+
+
+def tokenize(text: str) -> List[RawToken]:
+    """Tokenize ``text`` into :class:`RawToken` objects."""
+    tokens: List[RawToken] = []
+    sentence_start = True
+    last_end = 0
+    for match in _TOKEN_RE.finditer(text):
+        between = text[last_end : match.start()]
+        if tokens and _SENTENCE_END_RE.search(between):
+            sentence_start = True
+        tokens.append(
+            RawToken(
+                text=match.group(),
+                start=match.start(),
+                end=match.end(),
+                sentence_initial=sentence_start,
+            )
+        )
+        sentence_start = False
+        last_end = match.end()
+    return tokens
+
+
+def words(text: str) -> List[str]:
+    """Just the token strings."""
+    return [t.text for t in tokenize(text)]

@@ -1,0 +1,80 @@
+"""The UGC sharing platform (the paper's TeamLife system)."""
+
+from .crosspost import (
+    CrossPost,
+    CrossPoster,
+    FacebookSink,
+    FlickrSink,
+    SocialNetworkSink,
+    TwitterSink,
+    default_crossposter,
+)
+from .feeds import context_filtered_feed, render_atom_feed
+from .gallery import Platform
+from .identity import (
+    Assertion,
+    OpenIdError,
+    OpenIdProvider,
+    RelyingParty,
+    normalize_identifier,
+)
+from .models import Capture, ContentItem, MediaType, PlatformUser
+from .sparql_push import SparqlPushError, SparqlPushService
+from .search import (
+    DEBOUNCE_SECONDS,
+    Debouncer,
+    SearchInterface,
+    Suggestion,
+)
+from .tag_albums import TagAlbum, by_cell, by_place_type, by_user
+from .uploads import DeferredUploadQueue
+from .web import (
+    MOBILE_UA_MARKERS,
+    Page,
+    RouteDecision,
+    WebInterface,
+    WebSession,
+    is_mobile_user_agent,
+)
+from .vocab import TLV, platform_mapping
+
+__all__ = [
+    "Assertion",
+    "Capture",
+    "ContentItem",
+    "CrossPost",
+    "CrossPoster",
+    "DEBOUNCE_SECONDS",
+    "Debouncer",
+    "DeferredUploadQueue",
+    "FacebookSink",
+    "FlickrSink",
+    "MOBILE_UA_MARKERS",
+    "MediaType",
+    "OpenIdError",
+    "OpenIdProvider",
+    "Platform",
+    "Page",
+    "PlatformUser",
+    "RouteDecision",
+    "RelyingParty",
+    "SearchInterface",
+    "SocialNetworkSink",
+    "SparqlPushError",
+    "SparqlPushService",
+    "Suggestion",
+    "TLV",
+    "TagAlbum",
+    "TwitterSink",
+    "WebInterface",
+    "WebSession",
+    "by_cell",
+    "is_mobile_user_agent",
+    "by_place_type",
+    "by_user",
+    "context_filtered_feed",
+    "default_crossposter",
+    "normalize_identifier",
+    "platform_mapping",
+    "render_atom_feed",
+]

@@ -1,0 +1,116 @@
+"""Cross-posting to external social networks (paper §1.1).
+
+"Content that is uploaded to the system can be cross-posted to different
+popular sites and social networks (like Facebook, Flickr and Twitter)."
+
+Each sink is an in-process simulation with the relevant constraint of
+its real 2012 counterpart (Twitter's 140 characters, Flickr photos-only)
+so the dispatch logic is actually exercised.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .models import ContentItem, MediaType
+
+
+@dataclass(frozen=True)
+class CrossPost:
+    """A record of one delivered cross-post."""
+
+    network: str
+    pid: int
+    text: str
+
+
+class SocialNetworkSink(abc.ABC):
+    """One external network."""
+
+    name: str = "network"
+
+    def __init__(self) -> None:
+        self.posts: List[CrossPost] = []
+
+    @abc.abstractmethod
+    def format_post(self, item: ContentItem) -> Optional[str]:
+        """The outgoing text, or None when the item cannot be posted."""
+
+    def deliver(self, item: ContentItem) -> Optional[CrossPost]:
+        text = self.format_post(item)
+        if text is None:
+            return None
+        post = CrossPost(self.name, item.pid, text)
+        self.posts.append(post)
+        return post
+
+
+class FacebookSink(SocialNetworkSink):
+    name = "facebook"
+
+    def format_post(self, item: ContentItem) -> Optional[str]:
+        tags = " ".join(f"#{t}" for t in item.plain_tags[:5])
+        return f"{item.title} {item.media_url} {tags}".strip()
+
+
+class TwitterSink(SocialNetworkSink):
+    name = "twitter"
+    LIMIT = 140
+
+    def format_post(self, item: ContentItem) -> Optional[str]:
+        text = f"{item.title} {item.media_url}"
+        if len(text) > self.LIMIT:
+            room = self.LIMIT - len(item.media_url) - 2
+            if room <= 0:
+                return None
+            text = f"{item.title[:room]}… {item.media_url}"
+        return text
+
+
+class FlickrSink(SocialNetworkSink):
+    name = "flickr"
+
+    def format_post(self, item: ContentItem) -> Optional[str]:
+        if item.media_type is not MediaType.PHOTO:
+            return None  # Flickr accepted photos only
+        return f"{item.title} [{', '.join(item.all_tags)}]"
+
+
+class CrossPoster:
+    """Dispatches uploaded content to the user's selected networks."""
+
+    def __init__(self) -> None:
+        self._sinks: Dict[str, SocialNetworkSink] = {}
+
+    def register(self, sink: SocialNetworkSink) -> None:
+        self._sinks[sink.name] = sink
+
+    @property
+    def networks(self) -> List[str]:
+        return sorted(self._sinks)
+
+    def sink(self, name: str) -> SocialNetworkSink:
+        if name not in self._sinks:
+            raise KeyError(f"unknown network: {name!r}")
+        return self._sinks[name]
+
+    def post(
+        self, item: ContentItem, networks: Optional[List[str]] = None
+    ) -> List[CrossPost]:
+        targets = networks if networks is not None else self.networks
+        delivered: List[CrossPost] = []
+        for name in targets:
+            post = self.sink(name).deliver(item)
+            if post is not None:
+                delivered.append(post)
+        return delivered
+
+
+def default_crossposter() -> CrossPoster:
+    poster = CrossPoster()
+    poster.register(FacebookSink())
+    poster.register(TwitterSink())
+    poster.register(FlickrSink())
+    return poster

@@ -1,0 +1,74 @@
+"""Context-filtered feed syndication (paper §1.1).
+
+"Content can be syndicated as context-filtered feeds in order to enable
+social services." Feeds are Atom documents generated from a tag-album
+filter over the platform's content.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+from xml.sax.saxutils import escape
+
+from .models import ContentItem
+from .tag_albums import TagAlbum
+
+
+def render_atom_feed(
+    items: Iterable[ContentItem],
+    title: str,
+    feed_id: str = "http://beta.teamlife.it/feeds/all",
+) -> str:
+    """Serialize content items as an Atom feed document."""
+    entries: List[str] = []
+    latest = 0
+    for item in items:
+        latest = max(latest, item.timestamp)
+        categories = "".join(
+            f'    <category term="{escape(tag)}"/>\n'
+            for tag in item.all_tags
+        )
+        entries.append(
+            "  <entry>\n"
+            f"    <id>{escape(str(item.resource))}</id>\n"
+            f"    <title>{escape(item.title)}</title>\n"
+            f"    <author><name>{escape(item.owner)}</name></author>\n"
+            f"    <updated>{_timestamp(item.timestamp)}</updated>\n"
+            f'    <link rel="enclosure" href="{escape(item.media_url)}"/>\n'
+            f"{categories}"
+            "  </entry>\n"
+        )
+    return (
+        '<?xml version="1.0" encoding="utf-8"?>\n'
+        '<feed xmlns="http://www.w3.org/2005/Atom">\n'
+        f"  <id>{escape(feed_id)}</id>\n"
+        f"  <title>{escape(title)}</title>\n"
+        f"  <updated>{_timestamp(latest)}</updated>\n"
+        + "".join(entries)
+        + "</feed>\n"
+    )
+
+
+def _timestamp(epoch: int) -> str:
+    """Epoch seconds → RFC 3339 (UTC), computed without datetime.now()."""
+    import datetime
+
+    moment = datetime.datetime.fromtimestamp(
+        epoch, tz=datetime.timezone.utc
+    )
+    return moment.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def context_filtered_feed(
+    items: Iterable[ContentItem],
+    album: TagAlbum,
+    title: str,
+    feed_id: Optional[str] = None,
+) -> str:
+    """An Atom feed restricted to the contents matching ``album``."""
+    selected = album.select(items)
+    return render_atom_feed(
+        selected,
+        title,
+        feed_id or "http://beta.teamlife.it/feeds/filtered",
+    )

@@ -1,0 +1,130 @@
+"""OpenID-style sign-in (paper §1.1: "Users can sign-in and avoid
+registration using their OpenID accounts of any OpenID provider").
+
+A faithful-in-shape simulation of the 2012-era OpenID 2.0 flow: the
+relying party (the platform) normalizes the claimed identifier,
+discovers the provider, redirects, and receives a signed positive
+assertion. Here providers are in-process objects and the "signature" is
+a deterministic token, but the state machine (pending handles,
+single-use responses, replay rejection) is real.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class OpenIdError(Exception):
+    """Authentication failure (unknown identity, replay, bad assertion)."""
+
+
+@dataclass(frozen=True)
+class Assertion:
+    """A positive assertion returned by a provider."""
+
+    claimed_id: str
+    handle: str
+    signature: str
+
+
+class OpenIdProvider:
+    """An identity provider holding a set of identities."""
+
+    def __init__(self, endpoint: str) -> None:
+        self.endpoint = endpoint.rstrip("/")
+        self._identities: Dict[str, str] = {}  # claimed_id → secret
+
+    def register_identity(self, claimed_id: str) -> None:
+        claimed_id = normalize_identifier(claimed_id)
+        secret = hashlib.sha256(
+            f"{self.endpoint}|{claimed_id}".encode()
+        ).hexdigest()
+        self._identities[claimed_id] = secret
+
+    def owns(self, claimed_id: str) -> bool:
+        return normalize_identifier(claimed_id) in self._identities
+
+    def assert_identity(self, claimed_id: str, handle: str) -> Assertion:
+        claimed_id = normalize_identifier(claimed_id)
+        if claimed_id not in self._identities:
+            raise OpenIdError(f"unknown identity: {claimed_id}")
+        signature = hashlib.sha256(
+            f"{self._identities[claimed_id]}|{handle}".encode()
+        ).hexdigest()
+        return Assertion(claimed_id, handle, signature)
+
+    def verify(self, assertion: Assertion) -> bool:
+        secret = self._identities.get(assertion.claimed_id)
+        if secret is None:
+            return False
+        expected = hashlib.sha256(
+            f"{secret}|{assertion.handle}".encode()
+        ).hexdigest()
+        return expected == assertion.signature
+
+
+def normalize_identifier(identifier: str) -> str:
+    """OpenID identifier normalization: scheme added, fragment dropped,
+    trailing slash trimmed, host lower-cased."""
+    identifier = identifier.strip()
+    if not identifier:
+        raise OpenIdError("empty identifier")
+    if "://" not in identifier:
+        identifier = "http://" + identifier
+    scheme, _, rest = identifier.partition("://")
+    rest = rest.split("#", 1)[0].rstrip("/")
+    host, slash, path = rest.partition("/")
+    return f"{scheme.lower()}://{host.lower()}{slash}{path}"
+
+
+class RelyingParty:
+    """The platform side of the flow."""
+
+    def __init__(self) -> None:
+        self._providers: list[OpenIdProvider] = []
+        self._pending: Dict[str, str] = {}  # handle → claimed_id
+        self._used_handles: set = set()
+        self._handle_counter = itertools.count(1)
+
+    def add_provider(self, provider: OpenIdProvider) -> None:
+        self._providers.append(provider)
+
+    def discover(self, claimed_id: str) -> OpenIdProvider:
+        claimed_id = normalize_identifier(claimed_id)
+        for provider in self._providers:
+            if provider.owns(claimed_id):
+                return provider
+        raise OpenIdError(f"no provider for {claimed_id}")
+
+    def begin(self, claimed_id: str) -> str:
+        """Start authentication; returns the association handle."""
+        claimed_id = normalize_identifier(claimed_id)
+        self.discover(claimed_id)  # raises if nobody owns it
+        handle = f"assoc-{next(self._handle_counter)}"
+        self._pending[handle] = claimed_id
+        return handle
+
+    def complete(self, assertion: Assertion) -> str:
+        """Verify the returned assertion; returns the authenticated id."""
+        claimed_id = self._pending.pop(assertion.handle, None)
+        if claimed_id is None:
+            raise OpenIdError("unknown or expired handle")
+        if assertion.handle in self._used_handles:
+            raise OpenIdError("replayed handle")
+        if assertion.claimed_id != claimed_id:
+            raise OpenIdError("assertion for a different identity")
+        provider = self.discover(claimed_id)
+        if not provider.verify(assertion):
+            raise OpenIdError("bad signature")
+        self._used_handles.add(assertion.handle)
+        return claimed_id
+
+    def authenticate(self, claimed_id: str) -> str:
+        """The full happy-path flow in one call."""
+        handle = self.begin(claimed_id)
+        provider = self.discover(claimed_id)
+        assertion = provider.assert_identity(claimed_id, handle)
+        return self.complete(assertion)

@@ -1,0 +1,72 @@
+"""Platform domain objects."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..rdf.namespace import TL_PID, TL_USER
+from ..rdf.terms import URIRef
+from ..sparql.geo import Point
+
+
+class MediaType(enum.Enum):
+    PHOTO = "photo"
+    VIDEO = "video"
+
+
+@dataclass(frozen=True)
+class Capture:
+    """What the mobile client produces at shutter time (§1.1): media,
+    user-defined title and tags, capture timestamp and GPS when
+    available. Uploads may be deferred, so everything is bound to the
+    *creation* timestamp."""
+
+    username: str
+    title: str
+    tags: Tuple[str, ...]
+    timestamp: int
+    point: Optional[Point] = None
+    media_type: MediaType = MediaType.PHOTO
+    media_url: Optional[str] = None
+    poi_recs_id: Optional[int] = None  # explicit POI association
+
+
+@dataclass
+class ContentItem:
+    """A stored content item (a row of the ``pictures`` table + context)."""
+
+    pid: int
+    owner: str
+    title: str
+    plain_tags: List[str]
+    context_tags: List[str]
+    timestamp: int
+    media_type: MediaType
+    media_url: str
+    point: Optional[Point] = None
+    rating: float = 0.0
+
+    @property
+    def resource(self) -> URIRef:
+        return TL_PID[str(self.pid)]
+
+    @property
+    def all_tags(self) -> List[str]:
+        return self.plain_tags + self.context_tags
+
+
+@dataclass
+class PlatformUser:
+    """A registered user."""
+
+    username: str
+    full_name: str
+    email: Optional[str] = None
+    openid: Optional[str] = None
+    external_accounts: Tuple[str, ...] = ()
+
+    @property
+    def resource(self) -> URIRef:
+        return TL_USER[self.username]

@@ -1,0 +1,191 @@
+"""The mobile search interface (paper §4, Figures 2–3) and the keyword
+baseline it replaced.
+
+The AJAX search box fires "2 seconds after the last keystroke is
+pressed" (modeled by :class:`Debouncer`), suggests matching LOD
+resources for the typed prefix, and — once the user picks one — lists
+the content associated with that resource: items annotated with it, or
+geo-located near it. Results can be filtered by the user's own position
+("the possibility of filtering geographically the results").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..rdf.namespace import DCTERMS, GEO, GN, RDFS
+from ..rdf.terms import Literal, Term, URIRef
+from ..sparql.fulltext import FullTextIndex, tokenize_text
+from ..sparql.geo import Point, haversine_km, try_parse_point
+from .models import ContentItem
+
+#: The paper's debounce interval.
+DEBOUNCE_SECONDS = 2.0
+
+#: Content counts as "associated" to a place within this radius (km).
+DEFAULT_CONTENT_RADIUS_KM = 0.3
+
+
+class Debouncer:
+    """The 2-second AJAX debounce of the search box."""
+
+    def __init__(self, interval: float = DEBOUNCE_SECONDS) -> None:
+        self.interval = interval
+        self._last_keystroke: Optional[float] = None
+        self._pending: str = ""
+        self.fired: List[str] = []
+
+    def keystroke(self, text: str, at_time: float) -> Optional[str]:
+        """Record the search box content after a keystroke. Returns the
+        query to fire if the *previous* input sat idle long enough."""
+        fired = self.poll(at_time)
+        self._pending = text
+        self._last_keystroke = at_time
+        return fired
+
+    def poll(self, at_time: float) -> Optional[str]:
+        """Check whether the pending input is old enough to fire."""
+        if (
+            self._pending
+            and self._last_keystroke is not None
+            and at_time - self._last_keystroke >= self.interval
+        ):
+            query = self._pending
+            self._pending = ""
+            self._last_keystroke = None
+            self.fired.append(query)
+            return query
+        return None
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One row of the candidate-results list (Figure 3)."""
+
+    resource: URIRef
+    label: str
+    score: float
+
+
+class SearchInterface:
+    """Semantic search over the platform's union graph."""
+
+    def __init__(self, union_graph, contents: Sequence[ContentItem]) -> None:
+        self.graph = union_graph
+        self.contents = list(contents)
+        self._label_index = FullTextIndex.from_graph(
+            union_graph, predicates=[RDFS.label, GN.name, GN.alternateName]
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental suggestion (the AJAX candidates list)
+    # ------------------------------------------------------------------
+    def suggest(
+        self,
+        prefix: str,
+        user_point: Optional[Point] = None,
+        limit: int = 10,
+    ) -> List[Suggestion]:
+        """LOD resources whose label starts matching the typed prefix,
+        optionally ranked by distance to the user."""
+        subjects = self._label_index.search_prefix(prefix, limit=200)
+        suggestions: List[Suggestion] = []
+        for subject in subjects:
+            label = self._display_label(subject)
+            if label is None:
+                continue
+            score = self._prefix_score(prefix, label)
+            if user_point is not None:
+                distance = self._distance_to(subject, user_point)
+                if distance is not None:
+                    score += max(0.0, 1.0 - min(distance, 1000.0) / 1000.0)
+            suggestions.append(Suggestion(subject, label, round(score, 4)))
+        suggestions.sort(key=lambda s: (-s.score, str(s.resource)))
+        return suggestions[:limit]
+
+    def _display_label(self, subject: Term) -> Optional[str]:
+        label = self.graph.value(subject, RDFS.label)
+        if label is None:
+            label = self.graph.value(subject, GN.name)
+        return label.lexical if isinstance(label, Literal) else None
+
+    @staticmethod
+    def _prefix_score(prefix: str, label: str) -> float:
+        tokens = tokenize_text(label)
+        lowered = prefix.lower()
+        if not tokens:
+            return 0.0
+        if tokens[0].startswith(lowered):
+            return 2.0 + len(lowered) / max(1, len(tokens[0]))
+        if any(t.startswith(lowered) for t in tokens):
+            return 1.0
+        return 0.5
+
+    def _distance_to(
+        self, subject: Term, point: Point
+    ) -> Optional[float]:
+        geometry = self.graph.value(subject, GEO.geometry)
+        if geometry is None:
+            return None
+        target = try_parse_point(geometry)
+        if target is None:
+            return None
+        return haversine_km(point, target)
+
+    # ------------------------------------------------------------------
+    # Content retrieval for a selected resource (Figure 4, list view)
+    # ------------------------------------------------------------------
+    def content_for_resource(
+        self,
+        resource: URIRef,
+        radius_km: float = DEFAULT_CONTENT_RADIUS_KM,
+    ) -> List[ContentItem]:
+        """Contents annotated with ``resource`` or located near it."""
+        annotated: Set[int] = set()
+        for subject in self.graph.subjects(DCTERMS.subject, resource):
+            pid = _pid_from_resource(subject)
+            if pid is not None:
+                annotated.add(pid)
+        target = None
+        geometry = self.graph.value(resource, GEO.geometry)
+        if geometry is not None:
+            target = try_parse_point(geometry)
+        hits: List[ContentItem] = []
+        for item in self.contents:
+            near = (
+                target is not None
+                and item.point is not None
+                and haversine_km(item.point, target) <= radius_km
+            )
+            if item.pid in annotated or near:
+                hits.append(item)
+        return hits
+
+    # ------------------------------------------------------------------
+    # The keyword baseline (§1.2 — what semantics replaced)
+    # ------------------------------------------------------------------
+    def keyword_search(self, query: str) -> List[ContentItem]:
+        """Match content whose title or user tags contain every query
+        token — wild-free vocabulary, no synonyms, no disambiguation."""
+        tokens = tokenize_text(query)
+        if not tokens:
+            return []
+        hits = []
+        for item in self.contents:
+            haystack = set(tokenize_text(item.title))
+            for tag in item.plain_tags:
+                haystack.update(tokenize_text(tag))
+            if all(token in haystack for token in tokens):
+                hits.append(item)
+        return hits
+
+
+def _pid_from_resource(subject: Term) -> Optional[int]:
+    from ..rdf.namespace import TL_PID
+
+    text = str(subject)
+    if not text.startswith(str(TL_PID)):
+        return None
+    tail = text[len(str(TL_PID)):]
+    return int(tail) if tail.isdigit() else None

@@ -1,0 +1,84 @@
+"""Tag-based virtual albums — the legacy navigation (paper §1.1).
+
+"Tagged pictures and videos are organized in virtual albums generated
+dynamically. These tag-based collections exploit triple tags to organize
+content: it is therefore possible to filter user-generated pictures by
+each triple tag namespace, predicate or value."
+
+This is the pre-semantic baseline the SPARQL virtual albums replace, and
+the TT benchmark compares the two.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..context.triple_tags import TripleTag, try_parse_triple_tag
+from .models import ContentItem
+
+
+class TagAlbum:
+    """A dynamic collection filtered by triple-tag components."""
+
+    def __init__(
+        self,
+        namespace: Optional[str] = None,
+        predicate: Optional[str] = None,
+        value: Optional[str] = None,
+        plain_tag: Optional[str] = None,
+    ) -> None:
+        if not any((namespace, predicate, value, plain_tag)):
+            raise ValueError("album needs at least one filter component")
+        self.namespace = namespace
+        self.predicate = predicate
+        self.value = value
+        self.plain_tag = plain_tag
+
+    # ------------------------------------------------------------------
+    def matches(self, item: ContentItem) -> bool:
+        if self.plain_tag is not None:
+            if self.plain_tag not in item.plain_tags:
+                return False
+        if any((self.namespace, self.predicate, self.value)):
+            return any(
+                self._tag_matches(tag)
+                for tag in self._triple_tags(item)
+            )
+        return True
+
+    def _tag_matches(self, tag: TripleTag) -> bool:
+        if self.namespace is not None and tag.namespace != self.namespace:
+            return False
+        if self.predicate is not None and tag.predicate != self.predicate:
+            return False
+        if self.value is not None and tag.value != self.value:
+            return False
+        return True
+
+    @staticmethod
+    def _triple_tags(item: ContentItem) -> List[TripleTag]:
+        tags = []
+        for raw in item.all_tags:
+            parsed = try_parse_triple_tag(raw)
+            if parsed is not None:
+                tags.append(parsed)
+        return tags
+
+    def select(self, items: Iterable[ContentItem]) -> List[ContentItem]:
+        """Materialize the album over a content collection."""
+        return [item for item in items if self.matches(item)]
+
+
+def by_user(full_name: str) -> TagAlbum:
+    """The paper's example: ``people:fn=Walter+Goix``."""
+    return TagAlbum(namespace="people", predicate="fn", value=full_name)
+
+
+def by_cell(cgi: str) -> TagAlbum:
+    """The paper's example: ``cell:cgi=460-0-9522-3661``."""
+    return TagAlbum(namespace="cell", predicate="cgi", value=cgi)
+
+
+def by_place_type(place_type: str) -> TagAlbum:
+    """The paper's example: ``place:is=crowded``."""
+    return TagAlbum(namespace="place", predicate="is", value=place_type)

@@ -1,0 +1,52 @@
+"""Deferred upload queue (paper §1.1).
+
+"To overcome problems of limited connectivity and battery management,
+the client supports a deferred content uploading procedure. Pictures,
+videos and related metadata are associated to their creation timestamp."
+
+The queue buffers captures while "offline"; :meth:`flush` delivers them
+in capture order once connectivity returns. Context is always computed
+for the *capture* timestamp, never the upload time — the tests pin that
+property.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .models import Capture
+
+
+class DeferredUploadQueue:
+    """Client-side buffer of captures awaiting connectivity."""
+
+    def __init__(self) -> None:
+        self._queue: List[Capture] = []
+        self.online = True
+
+    def capture(
+        self, capture: Capture, upload: Optional[Callable] = None
+    ) -> Optional[object]:
+        """Record a capture; uploads immediately when online and an
+        upload callable is supplied, else enqueues."""
+        if self.online and upload is not None:
+            return upload(capture)
+        self._queue.append(capture)
+        return None
+
+    def go_offline(self) -> None:
+        self.online = False
+
+    def go_online(self) -> None:
+        self.online = True
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def flush(self, upload: Callable) -> List[object]:
+        """Deliver all buffered captures in capture-time order."""
+        if not self.online:
+            raise RuntimeError("cannot flush while offline")
+        pending = sorted(self._queue, key=lambda c: c.timestamp)
+        self._queue.clear()
+        return [upload(capture) for capture in pending]

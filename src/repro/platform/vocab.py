@@ -1,0 +1,102 @@
+"""Platform RDF vocabulary.
+
+The TeamLife platform's own predicates, under its vocab namespace, plus
+the D2R mapping that lifts the Coppermine-style schema (paper §2.1).
+"""
+
+from __future__ import annotations
+
+from ..d2r.mapping import (
+    D2RMapping,
+    KeywordSplitMap,
+    LinkMap,
+    PropertyMap,
+    TableMap,
+    UriPattern,
+)
+from ..rdf.namespace import (
+    COMM,
+    DC,
+    RDFS,
+    DCTERMS,
+    FOAF,
+    GEO,
+    Namespace,
+    REV,
+    SIOCT,
+    TL_PID,
+    TL_USER,
+)
+
+#: Platform vocabulary namespace.
+TLV = Namespace("http://beta.teamlife.it/vocab#")
+
+
+def platform_mapping() -> D2RMapping:
+    """The D2R mapping for the platform's relational schema.
+
+    * ``pictures`` → ``sioct:MicroblogPost`` (the type the paper's
+      queries filter on), with ``comm:image-data``, ``dc:title``,
+      ``rev:rating``, ``geo:geometry`` and one ``tlv:keyword`` triple per
+      space-separated keyword (§2.1.1);
+    * ``users`` → ``foaf:Person`` with ``foaf:name``;
+    * ``friends`` → ``foaf:knows`` links between user resources.
+    """
+    mapping = D2RMapping()
+    mapping.add(
+        TableMap(
+            table="users",
+            uri_pattern=UriPattern(str(TL_USER) + "{user_name}"),
+            rdf_class=FOAF.Person,
+            properties=[
+                PropertyMap("user_name", FOAF.name),
+                PropertyMap("full_name", TLV.fullName),
+            ],
+        )
+    )
+    mapping.add(
+        TableMap(
+            table="pictures",
+            uri_pattern=UriPattern(str(TL_PID) + "{pid}"),
+            rdf_class=SIOCT.MicroblogPost,
+            properties=[
+                PropertyMap("title", DC.title),
+                # D2R also emits rdfs:label for the title — the mashup's
+                # UGC branch joins on it, as in the paper's listing
+                PropertyMap("title", RDFS.label),
+                PropertyMap("media_url", COMM["image-data"]),
+                PropertyMap("rating", REV.rating),
+                PropertyMap("ctime", DCTERMS.created),
+                PropertyMap("geometry", GEO.geometry),
+            ],
+            links=[LinkMap("owner_name", FOAF.maker, "users")],
+            keyword_splits=[
+                KeywordSplitMap("keywords", TLV.keyword, lowercase=False)
+            ],
+        )
+    )
+    mapping.add(
+        TableMap(
+            table="friends",
+            uri_pattern=UriPattern(str(TL_USER) + "{user_a}"),
+            links=[LinkMap("user_b", FOAF.knows, "users")],
+        )
+    )
+    mapping.add(
+        TableMap(
+            table="regions",
+            uri_pattern=UriPattern(
+                "http://beta.teamlife.it/regions/{rid}"
+            ),
+            rdf_class=TLV.Region,
+            properties=[
+                PropertyMap("x", TLV.x),
+                PropertyMap("y", TLV.y),
+                PropertyMap("width", TLV.width),
+                PropertyMap("height", TLV.height),
+                PropertyMap("note", TLV.note),
+            ],
+            links=[LinkMap("pid", TLV.on, "pictures")],
+        )
+    )
+    return mapping

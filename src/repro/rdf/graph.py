@@ -1,0 +1,360 @@
+"""Indexed in-memory triple store.
+
+:class:`Graph` is the storage substrate that stands in for the paper's
+OpenLink Virtuoso installation. It keeps three hash indexes (SPO, POS, OSP)
+so that every triple-pattern shape is answered from the most selective
+index, which is what makes BGP matching in :mod:`repro.sparql` fast enough
+for the benchmark workloads.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from .namespace import NamespaceManager, RDF
+from .terms import BNode, Literal, Term, URIRef, term_from_python
+
+#: A triple of concrete terms.
+Triple = Tuple[Term, Term, Term]
+#: A triple pattern; ``None`` is a wildcard.
+TriplePattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+
+_Index = Dict[Term, Dict[Term, Set[Term]]]
+
+
+def _index_add(index: _Index, a: Term, b: Term, c: Term) -> None:
+    index.setdefault(a, {}).setdefault(b, set()).add(c)
+
+
+def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
+    level1 = index.get(a)
+    if level1 is None:
+        return
+    level2 = level1.get(b)
+    if level2 is None:
+        return
+    level2.discard(c)
+    if not level2:
+        del level1[b]
+        if not level1:
+            del index[a]
+
+
+class Graph:
+    """A set of RDF triples with pattern-match access.
+
+    Supports the container protocol (``len``, ``in``, iteration), set-style
+    bulk operations and convenience accessors (:meth:`value`,
+    :meth:`objects`, :meth:`subjects`). Mutation keeps all three indexes
+    consistent.
+    """
+
+    def __init__(
+        self,
+        identifier: Optional[URIRef] = None,
+        namespaces: Optional[NamespaceManager] = None,
+    ) -> None:
+        self.identifier = identifier or URIRef(f"urn:graph:{id(self):x}")
+        self.namespaces = namespaces or NamespaceManager()
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Iterable[Any]) -> "Graph":
+        """Add one triple; values are coerced with ``term_from_python``."""
+        s, p, o = triple
+        s = self._as_node(s)
+        p = self._as_predicate(p)
+        o = term_from_python(o)
+        if not self._contains(s, p, o):
+            _index_add(self._spo, s, p, o)
+            _index_add(self._pos, p, o, s)
+            _index_add(self._osp, o, s, p)
+            self._size += 1
+        return self
+
+    def add_all(self, triples: Iterable[Iterable[Any]]) -> "Graph":
+        for triple in triples:
+            self.add(triple)
+        return self
+
+    def remove(self, pattern: TriplePattern) -> int:
+        """Remove all triples matching ``pattern``; returns count removed."""
+        matches = list(self.triples(pattern))
+        for s, p, o in matches:
+            _index_remove(self._spo, s, p, o)
+            _index_remove(self._pos, p, o, s)
+            _index_remove(self._osp, o, s, p)
+        self._size -= len(matches)
+        return len(matches)
+
+    def clear(self) -> None:
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    @staticmethod
+    def _as_node(value: Any) -> Term:
+        if isinstance(value, Term):
+            return value
+        if isinstance(value, str):
+            return URIRef(value)
+        raise TypeError(f"invalid subject: {value!r}")
+
+    @staticmethod
+    def _as_predicate(value: Any) -> Term:
+        if isinstance(value, URIRef):
+            return value
+        if isinstance(value, Term):
+            raise TypeError(f"predicate must be a URIRef, got {value!r}")
+        if isinstance(value, str):
+            return URIRef(value)
+        raise TypeError(f"invalid predicate: {value!r}")
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def _contains(self, s: Term, p: Term, o: Term) -> bool:
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def __contains__(self, triple: Iterable[Any]) -> bool:
+        s, p, o = triple
+        if s is None or p is None or o is None:
+            return any(True for _ in self.triples((s, p, o)))
+        return self._contains(s, p, term_from_python(o))
+
+    def triples(
+        self, pattern: TriplePattern = (None, None, None)
+    ) -> Iterator[Triple]:
+        """Yield all triples matching ``pattern`` (``None`` = wildcard).
+
+        Dispatches on the bound/unbound shape to the most selective index.
+        """
+        s, p, o = pattern
+        if s is not None:
+            by_p = self._spo.get(s)
+            if by_p is None:
+                return
+            if p is not None:
+                objs = by_p.get(p)
+                if objs is None:
+                    return
+                if o is not None:
+                    if o in objs:
+                        yield (s, p, o)
+                else:
+                    for obj in objs:
+                        yield (s, p, obj)
+            else:
+                for pred, objs in by_p.items():
+                    if o is not None:
+                        if o in objs:
+                            yield (s, pred, o)
+                    else:
+                        for obj in objs:
+                            yield (s, pred, obj)
+        elif p is not None:
+            by_o = self._pos.get(p)
+            if by_o is None:
+                return
+            if o is not None:
+                for subj in by_o.get(o, ()):
+                    yield (subj, p, o)
+            else:
+                for obj, subjs in by_o.items():
+                    for subj in subjs:
+                        yield (subj, p, obj)
+        elif o is not None:
+            by_s = self._osp.get(o)
+            if by_s is None:
+                return
+            for subj, preds in by_s.items():
+                for pred in preds:
+                    yield (subj, pred, o)
+        else:
+            for subj, by_p in self._spo.items():
+                for pred, objs in by_p.items():
+                    for obj in objs:
+                        yield (subj, pred, obj)
+
+    def count(self, pattern: TriplePattern = (None, None, None)) -> int:
+        """Number of triples matching ``pattern`` (O(1) for full wildcard)."""
+        if pattern == (None, None, None):
+            return self._size
+        return sum(1 for _ in self.triples(pattern))
+
+    def subjects(
+        self, predicate: Optional[Term] = None, obj: Optional[Term] = None
+    ) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for s, _, _ in self.triples((None, predicate, obj)):
+            if s not in seen:
+                seen.add(s)
+                yield s
+
+    def predicates(
+        self, subject: Optional[Term] = None, obj: Optional[Term] = None
+    ) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for _, p, _ in self.triples((subject, None, obj)):
+            if p not in seen:
+                seen.add(p)
+                yield p
+
+    def objects(
+        self, subject: Optional[Term] = None, predicate: Optional[Term] = None
+    ) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for _, _, o in self.triples((subject, predicate, None)):
+            if o not in seen:
+                seen.add(o)
+                yield o
+
+    def value(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+        default: Any = None,
+    ) -> Any:
+        """Return one term completing the two given positions, or default."""
+        given = sum(x is not None for x in (subject, predicate, obj))
+        if given != 2:
+            raise ValueError("value() requires exactly two bound positions")
+        for s, p, o in self.triples((subject, predicate, obj)):
+            if subject is None:
+                return s
+            if predicate is None:
+                return p
+            return o
+        return default
+
+    def label(self, subject: Term, lang: Optional[str] = None) -> Optional[Literal]:
+        """Return an ``rdfs:label`` of ``subject``, preferring ``lang``."""
+        from .namespace import RDFS
+
+        fallback: Optional[Literal] = None
+        for obj in self.objects(subject, RDFS.label):
+            if not isinstance(obj, Literal):
+                continue
+            if lang is not None and obj.lang == lang.lower():
+                return obj
+            if fallback is None or obj.lang is None:
+                fallback = obj
+        return fallback
+
+    def types(self, subject: Term) -> Set[Term]:
+        """All ``rdf:type`` values of ``subject``."""
+        return set(self.objects(subject, RDF.type))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iadd__(self, other: Iterable[Triple]) -> "Graph":
+        self.add_all(other)
+        return self
+
+    def copy(self) -> "Graph":
+        g = Graph(self.identifier, self.namespaces)
+        g.add_all(self.triples())
+        return g
+
+    def __repr__(self) -> str:
+        return f"Graph({str(self.identifier)!r}, triples={self._size})"
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def resource_exists(self, subject: Term) -> bool:
+        """True if ``subject`` occurs as the subject of any triple.
+
+        This is the "actual binding" validation check the paper performs
+        against the DBpedia SPARQL endpoint (§2.2.2).
+        """
+        return subject in self._spo
+
+    def predicate_objects(self, subject: Term) -> Iterator[Tuple[Term, Term]]:
+        for _, p, o in self.triples((subject, None, None)):
+            yield p, o
+
+    def serialize(self, fmt: str = "ntriples") -> str:
+        """Serialize to ``ntriples`` or ``turtle``."""
+        if fmt in ("ntriples", "nt"):
+            from .ntriples import serialize_ntriples
+
+            return serialize_ntriples(self)
+        if fmt in ("turtle", "ttl"):
+            from .turtle import serialize_turtle
+
+            return serialize_turtle(self)
+        raise ValueError(f"unknown format: {fmt!r}")
+
+
+class Dataset:
+    """A collection of named graphs plus a default graph.
+
+    Mirrors the paper's Virtuoso deployment where platform triples and the
+    imported LOD datasets (DBpedia, Geonames, LinkedGeoData) live in
+    separate graphs but are queried together. :meth:`union_graph` produces
+    a merged read-only view used as the default query target.
+    """
+
+    def __init__(self) -> None:
+        self.default = Graph(URIRef("urn:graph:default"))
+        self._named: Dict[URIRef, Graph] = {}
+
+    def graph(self, identifier: Any) -> Graph:
+        """Get or create the named graph ``identifier``."""
+        identifier = (
+            identifier
+            if isinstance(identifier, URIRef)
+            else URIRef(str(identifier))
+        )
+        if identifier not in self._named:
+            self._named[identifier] = Graph(identifier, self.default.namespaces)
+        return self._named[identifier]
+
+    def remove_graph(self, identifier: Any) -> bool:
+        identifier = (
+            identifier
+            if isinstance(identifier, URIRef)
+            else URIRef(str(identifier))
+        )
+        return self._named.pop(identifier, None) is not None
+
+    def graphs(self) -> List[Graph]:
+        return list(self._named.values())
+
+    def __contains__(self, identifier: Any) -> bool:
+        return URIRef(str(identifier)) in self._named
+
+    def union_graph(self) -> Graph:
+        """A merged graph of the default graph and every named graph."""
+        merged = Graph(URIRef("urn:graph:union"), self.default.namespaces)
+        merged.add_all(self.default)
+        for graph in self._named.values():
+            merged.add_all(graph)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self.default) + sum(len(g) for g in self._named.values())

@@ -1,0 +1,160 @@
+"""Namespaces and the vocabularies used by the platform.
+
+A :class:`Namespace` builds :class:`~repro.rdf.terms.URIRef` terms by
+attribute or item access (``FOAF.name`` → ``<http://xmlns.com/foaf/0.1/name>``).
+The bundled vocabularies are exactly the ones the paper's queries use:
+RDF/RDFS, FOAF, W3C geo, SIOC types, the ``rev`` review vocabulary, the COMM
+multimedia ontology, DBpedia ontology, LinkedGeoData ontology and Geonames.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .terms import URIRef
+
+
+class Namespace(str):
+    """A URI prefix that mints terms via attribute or item access."""
+
+    def __new__(cls, base: str) -> "Namespace":
+        return str.__new__(cls, base)
+
+    def term(self, name: str) -> URIRef:
+        return URIRef(str.__str__(self) + name)
+
+    def __getattribute__(self, name: str) -> URIRef:
+        # Intercept *all* plain attribute access so names that collide
+        # with str methods (``DC.title``, ``FOAF.name``, ...) still mint
+        # terms. Underscore names and the ``term`` method pass through.
+        if name.startswith("_") or name == "term":
+            return str.__getattribute__(self, name)
+        return URIRef(str.__str__(self) + name)
+
+    def __getitem__(self, name) -> URIRef:  # type: ignore[override]
+        if isinstance(name, (int, slice)):
+            return str.__getitem__(self, name)  # type: ignore[return-value]
+        return self.term(name)
+
+    def __contains__(self, item) -> bool:  # type: ignore[override]
+        if isinstance(item, str):
+            return item.startswith(str(self))
+        return False
+
+    def __repr__(self) -> str:
+        return f"Namespace({str(self)!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+GEO = Namespace("http://www.w3.org/2003/01/geo/wgs84_pos#")
+SIOC = Namespace("http://rdfs.org/sioc/ns#")
+SIOCT = Namespace("http://rdfs.org/sioc/types#")
+REV = Namespace("http://purl.org/stuff/rev#")
+DC = Namespace("http://purl.org/dc/elements/1.1/")
+DCTERMS = Namespace("http://purl.org/dc/terms/")
+COMM = Namespace("http://comm.semanticweb.org/core.owl#")
+DBPO = Namespace("http://dbpedia.org/ontology/")
+DBPR = Namespace("http://dbpedia.org/resource/")
+DBPP = Namespace("http://dbpedia.org/property/")
+LGDO = Namespace("http://linkedgeodata.org/ontology/")
+LGDR = Namespace("http://linkedgeodata.org/triplify/")
+LGDP = Namespace("http://linkedgeodata.org/property/")
+GN = Namespace("http://www.geonames.org/ontology#")
+GNR = Namespace("http://sws.geonames.org/")
+EVRI = Namespace("http://www.evri.com/ontology#")
+EVRIR = Namespace("http://www.evri.com/entity/")
+SKOS = Namespace("http://www.w3.org/2004/02/skos/core#")
+TL = Namespace("http://beta.teamlife.it/")
+TL_PID = Namespace("http://beta.teamlife.it/cpg148_pictures/")
+TL_USER = Namespace("http://beta.teamlife.it/users/")
+
+#: Default prefix table used by parsers and serializers.
+DEFAULT_PREFIXES: Dict[str, str] = {
+    "rdf": str(RDF),
+    "rdfs": str(RDFS),
+    "owl": str(OWL),
+    "xsd": str(XSD),
+    "foaf": str(FOAF),
+    "geo": str(GEO),
+    "sioc": str(SIOC),
+    "sioct": str(SIOCT),
+    "rev": str(REV),
+    "dc": str(DC),
+    "dcterms": str(DCTERMS),
+    "comm": str(COMM),
+    "dbpo": str(DBPO),
+    "dbpr": str(DBPR),
+    "dbpp": str(DBPP),
+    "lgdo": str(LGDO),
+    "lgdr": str(LGDR),
+    "lgdp": str(LGDP),
+    "gn": str(GN),
+    "gnr": str(GNR),
+    "evri": str(EVRI),
+    "evrir": str(EVRIR),
+    "skos": str(SKOS),
+    "tl": str(TL),
+    "tl-pid": str(TL_PID),
+    "tl-user": str(TL_USER),
+}
+
+
+class NamespaceManager:
+    """Bidirectional prefix ↔ namespace registry.
+
+    Used by the Turtle serializer to produce compact output and by the
+    SPARQL parser to expand prefixed names.
+    """
+
+    def __init__(self, bind_defaults: bool = True) -> None:
+        self._prefix_to_ns: Dict[str, str] = {}
+        self._ns_to_prefix: Dict[str, str] = {}
+        if bind_defaults:
+            for prefix, ns in DEFAULT_PREFIXES.items():
+                self.bind(prefix, ns)
+
+    def bind(self, prefix: str, namespace: str, replace: bool = True) -> None:
+        """Register ``prefix`` for ``namespace``."""
+        namespace = str(namespace)
+        if prefix in self._prefix_to_ns and not replace:
+            return
+        old = self._prefix_to_ns.get(prefix)
+        if old is not None and self._ns_to_prefix.get(old) == prefix:
+            del self._ns_to_prefix[old]
+        self._prefix_to_ns[prefix] = namespace
+        self._ns_to_prefix.setdefault(namespace, prefix)
+
+    def expand(self, qname: str) -> URIRef:
+        """Expand ``prefix:local`` to a full :class:`URIRef`."""
+        prefix, _, local = qname.partition(":")
+        if prefix not in self._prefix_to_ns:
+            raise KeyError(f"unknown prefix: {prefix!r}")
+        return URIRef(self._prefix_to_ns[prefix] + local)
+
+    def namespace(self, prefix: str) -> Optional[str]:
+        return self._prefix_to_ns.get(prefix)
+
+    def compact(self, iri: str) -> Optional[str]:
+        """Return ``prefix:local`` for ``iri`` if a prefix matches."""
+        iri = str(iri)
+        best: Optional[Tuple[str, str]] = None
+        for ns, prefix in self._ns_to_prefix.items():
+            if iri.startswith(ns) and (best is None or len(ns) > len(best[0])):
+                best = (ns, prefix)
+        if best is None:
+            return None
+        ns, prefix = best
+        local = iri[len(ns) :]
+        if not local or any(ch in local for ch in "/#?"):
+            return None
+        return f"{prefix}:{local}"
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(sorted(self._prefix_to_ns.items()))
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._prefix_to_ns

@@ -1,0 +1,33 @@
+"""Mini relational engine — the Coppermine-style gallery substrate.
+
+The paper's platform stores content, users and their relationships in a
+MySQL database behind a Coppermine photo gallery; :mod:`repro.d2r` lifts
+that schema to RDF. This package provides the relational layer: typed
+tables with PK/unique/FK constraints and a SQL subset front end.
+"""
+
+from .database import Database, ResultSet
+from .errors import (
+    IntegrityError,
+    RelationalError,
+    SchemaError,
+    SqlSyntaxError,
+    TypeMismatchError,
+)
+from .sql import parse_sql
+from .table import Column, ColumnType, Row, Table
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Database",
+    "IntegrityError",
+    "RelationalError",
+    "ResultSet",
+    "Row",
+    "SchemaError",
+    "SqlSyntaxError",
+    "Table",
+    "TypeMismatchError",
+    "parse_sql",
+]

@@ -1,0 +1,23 @@
+"""Relational engine exceptions."""
+
+from __future__ import annotations
+
+
+class RelationalError(Exception):
+    """Base class for all relational engine errors."""
+
+
+class SchemaError(RelationalError):
+    """Invalid schema definition or unknown table/column."""
+
+
+class IntegrityError(RelationalError):
+    """Constraint violation: PK/unique duplicates, NOT NULL, FK."""
+
+
+class SqlSyntaxError(RelationalError):
+    """Malformed SQL text."""
+
+
+class TypeMismatchError(RelationalError):
+    """A value does not fit its column's declared type."""

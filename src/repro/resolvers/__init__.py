@@ -1,0 +1,55 @@
+"""The semantic brokering component and its resolvers (paper §2.2.2)."""
+
+from .base import (
+    Candidate,
+    GRAPH_DBPEDIA,
+    GRAPH_EVRI,
+    GRAPH_GEONAMES,
+    GRAPH_OTHER,
+    Resolver,
+    classify_graph,
+)
+from .broker import BrokerResult, SemanticBroker
+from .dbpedia import DBpediaResolver
+from .evri import EvriResolver, build_evri_graph
+from .geonames import GeonamesResolver
+from .sindice import SindiceResolver
+from .zemanta import ZemantaResolver
+
+
+def default_resolvers(corpus=None):
+    """The paper's resolver set over the (synthetic) LOD corpus:
+    DBpedia + Sindice extended with Evri, plus Geonames and the Zemanta
+    full-text suggester."""
+    from ..lod import build_lod_corpus
+
+    corpus = corpus or build_lod_corpus()
+    return [
+        DBpediaResolver(corpus.dbpedia),
+        GeonamesResolver(corpus.geonames),
+        SindiceResolver(
+            [corpus.dbpedia, corpus.geonames, corpus.linkedgeodata]
+        ),
+        EvriResolver(),
+        ZemantaResolver(corpus.dbpedia),
+    ]
+
+
+__all__ = [
+    "BrokerResult",
+    "Candidate",
+    "DBpediaResolver",
+    "EvriResolver",
+    "GRAPH_DBPEDIA",
+    "GRAPH_EVRI",
+    "GRAPH_GEONAMES",
+    "GRAPH_OTHER",
+    "GeonamesResolver",
+    "Resolver",
+    "SemanticBroker",
+    "SindiceResolver",
+    "ZemantaResolver",
+    "build_evri_graph",
+    "classify_graph",
+    "default_resolvers",
+]

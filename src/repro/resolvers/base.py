@@ -1,0 +1,88 @@
+"""Resolver abstractions: candidates and the resolver interface.
+
+A resolver takes a word (term-based analysis) or a whole title
+(full-text analysis) and proposes candidate LOD resources with a
+resolver-native score. Candidates remember which *graph* their resource
+belongs to, because the paper's filtering assigns priorities "with
+graphs and not with the resolvers" (§2.2.2) — a Sindice candidate may
+point into Geonames or DBpedia or elsewhere.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..rdf.terms import URIRef
+
+#: Graph families the filtering step distinguishes.
+GRAPH_GEONAMES = "geonames"
+GRAPH_DBPEDIA = "dbpedia"
+GRAPH_EVRI = "evri"
+GRAPH_OTHER = "other"
+
+
+def classify_graph(resource: URIRef) -> str:
+    """Classify a resource URI into its source graph family."""
+    text = str(resource)
+    if text.startswith("http://sws.geonames.org/") or text.startswith(
+        "http://www.geonames.org/"
+    ):
+        return GRAPH_GEONAMES
+    if text.startswith("http://dbpedia.org/"):
+        return GRAPH_DBPEDIA
+    if text.startswith("http://www.evri.com/") or text.startswith(
+        "http://evri.com/"
+    ):
+        return GRAPH_EVRI
+    return GRAPH_OTHER
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate LOD resource for a word or text fragment."""
+
+    resource: URIRef
+    label: str                  # the resource's display label
+    score: float                # resolver-native score in [0, 1]
+    resolver: str               # resolver name, e.g. "dbpedia"
+    word: str                   # the surface form that triggered the match
+    graph: str = field(default="")  # filled from classify_graph if empty
+    entity_type: Optional[str] = None  # e.g. "place", "person"
+    language: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"score out of range: {self.score}")
+        if not self.graph:
+            object.__setattr__(self, "graph", classify_graph(self.resource))
+
+
+class Resolver(abc.ABC):
+    """Base class for candidate sources.
+
+    Term-based resolvers implement :meth:`resolve_term`; resolvers that
+    benefit from the whole title as context (Evri, Zemanta in the paper)
+    additionally override :meth:`resolve_text`.
+    """
+
+    #: Name used in Candidate.resolver and broker diagnostics.
+    name: str = "resolver"
+
+    @abc.abstractmethod
+    def resolve_term(
+        self, word: str, language: Optional[str] = None
+    ) -> List[Candidate]:
+        """Candidates for a single (multi)word."""
+
+    def resolve_text(
+        self, text: str, language: Optional[str] = None
+    ) -> List[Candidate]:
+        """Candidates extracted from full text. Default: none — only
+        full-text resolvers participate in this phase."""
+        return []
+
+    @property
+    def supports_full_text(self) -> bool:
+        return type(self).resolve_text is not Resolver.resolve_text

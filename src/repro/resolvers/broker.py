@@ -1,0 +1,89 @@
+"""The semantic brokering component (paper §2.2.2, Figure 1).
+
+"The next step involves a semantic brokering component. This component
+is assisted by a set of resolvers that perform full-text or term-based
+analysis [...] aimed at providing candidate semantic concepts referring
+to Linked Open Data."
+
+The broker fans a word list out to the term resolvers and the whole
+title to the full-text resolvers (Evri, Zemanta), then merges: per
+resource, the highest-scoring candidate wins, and per-word candidate
+lists stay separate because disambiguation happens per word downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..rdf.terms import URIRef
+from .base import Candidate, Resolver
+
+
+@dataclass
+class BrokerResult:
+    """The broker's output: candidates grouped by originating word, plus
+    the full-text candidates keyed under the pseudo-word ``*text*``."""
+
+    per_word: Dict[str, List[Candidate]] = field(default_factory=dict)
+    full_text: List[Candidate] = field(default_factory=list)
+
+    def all_candidates(self) -> List[Candidate]:
+        merged: List[Candidate] = []
+        for candidates in self.per_word.values():
+            merged.extend(candidates)
+        merged.extend(self.full_text)
+        return merged
+
+    def words(self) -> List[str]:
+        return list(self.per_word)
+
+
+class SemanticBroker:
+    """Fans out to resolvers and merges their candidates."""
+
+    def __init__(self, resolvers: Sequence[Resolver]) -> None:
+        if not resolvers:
+            raise ValueError("broker needs at least one resolver")
+        self.resolvers = list(resolvers)
+
+    def resolve(
+        self,
+        words: Iterable[str],
+        text: Optional[str] = None,
+        language: Optional[str] = None,
+    ) -> BrokerResult:
+        """Resolve each word individually plus the full text as context."""
+        result = BrokerResult()
+        for word in words:
+            if word in result.per_word:
+                continue
+            merged = self._merge(
+                candidate
+                for resolver in self.resolvers
+                for candidate in resolver.resolve_term(word, language)
+            )
+            result.per_word[word] = merged
+        if text:
+            result.full_text = self._merge(
+                candidate
+                for resolver in self.resolvers
+                if resolver.supports_full_text
+                for candidate in resolver.resolve_text(text, language)
+            )
+        return result
+
+    @staticmethod
+    def _merge(candidates: Iterable[Candidate]) -> List[Candidate]:
+        """Deduplicate by resource, keeping the highest-scoring candidate
+        (stable across runs: ties resolve by resolver then resource)."""
+        best: Dict[URIRef, Candidate] = {}
+        for candidate in candidates:
+            current = best.get(candidate.resource)
+            if current is None or (candidate.score, candidate.resolver) > (
+                current.score, current.resolver
+            ):
+                best[candidate.resource] = candidate
+        return sorted(
+            best.values(), key=lambda c: (-c.score, str(c.resource))
+        )

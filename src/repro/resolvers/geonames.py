@@ -1,0 +1,79 @@
+"""Geonames resolver — location lookups over the Geonames graph.
+
+Returns city-level features matching a word against ``gn:name`` or any
+``gn:alternateName`` (so "Torino" finds the feature whose canonical name
+is "Turin"). Population is the popularity proxy, mirroring the real
+Geonames search ranking.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..nlp.similarity import jaro_winkler_ci
+from ..rdf.graph import Graph
+from ..rdf.namespace import GN
+from ..rdf.terms import Literal, URIRef
+from .base import Candidate, Resolver
+
+
+class GeonamesResolver(Resolver):
+    """Resolves (multi)words against Geonames features."""
+
+    name = "geonames"
+
+    def __init__(self, geonames: Graph, max_candidates: int = 5) -> None:
+        self.graph = geonames
+        self.max_candidates = max_candidates
+        self._max_population = 1
+        for _, _, obj in geonames.triples((None, GN.population, None)):
+            if isinstance(obj, Literal) and obj.is_numeric:
+                self._max_population = max(
+                    self._max_population, int(obj.value)
+                )
+
+    def resolve_term(
+        self, word: str, language: Optional[str] = None
+    ) -> List[Candidate]:
+        lowered = word.lower()
+        candidates: List[Candidate] = []
+        for feature in set(self.graph.subjects(GN.featureClass, GN.P)):
+            names = [
+                obj.lexical
+                for _, _, obj in self.graph.triples((feature, GN.name, None))
+                if isinstance(obj, Literal)
+            ]
+            names += [
+                obj.lexical
+                for _, _, obj in self.graph.triples(
+                    (feature, GN.alternateName, None)
+                )
+                if isinstance(obj, Literal)
+            ]
+            matching = [n for n in names if n.lower() == lowered]
+            if not matching:
+                continue
+            population = self.graph.value(feature, GN.population)
+            popularity = 0.0
+            if isinstance(population, Literal) and population.is_numeric:
+                popularity = int(population.value) / self._max_population
+            canonical = self.graph.value(feature, GN.name)
+            label = (
+                canonical.lexical
+                if isinstance(canonical, Literal)
+                else matching[0]
+            )
+            score = round(min(1.0, 0.85 + 0.15 * popularity), 4)
+            candidates.append(
+                Candidate(
+                    resource=feature,
+                    label=label,
+                    score=score,
+                    resolver=self.name,
+                    word=word,
+                    entity_type="place",
+                    language=language,
+                )
+            )
+        candidates.sort(key=lambda c: (-c.score, str(c.resource)))
+        return candidates[: self.max_candidates]

@@ -1,0 +1,65 @@
+"""SPARQL engine with Virtuoso-compatible geo and full-text extensions.
+
+This package replaces the paper's OpenLink Virtuoso deployment: a SPARQL
+parser/evaluator over :class:`repro.rdf.Graph` supporting the paper's
+queries verbatim — including ``bif:st_intersects`` geospatial filters and
+``bif:contains`` full-text matching.
+"""
+
+from .ast import (
+    AskQuery,
+    ConstructQuery,
+    DescribeQuery,
+    Query,
+    SelectQuery,
+)
+from .errors import (
+    ExpressionError,
+    SparqlError,
+    SparqlEvalError,
+    SparqlSyntaxError,
+)
+from .evaluator import Evaluator, query
+from .fulltext import FullTextIndex, contains, tokenize_text
+from .geo import (
+    EARTH_RADIUS_KM,
+    GeometryError,
+    Point,
+    haversine_km,
+    parse_point,
+    st_distance,
+    st_intersects,
+    st_point,
+    try_parse_point,
+)
+from .parser import parse_query
+from .results import Row, SelectResult
+
+__all__ = [
+    "AskQuery",
+    "ConstructQuery",
+    "DescribeQuery",
+    "EARTH_RADIUS_KM",
+    "Evaluator",
+    "ExpressionError",
+    "FullTextIndex",
+    "GeometryError",
+    "Point",
+    "Query",
+    "Row",
+    "SelectQuery",
+    "SelectResult",
+    "SparqlError",
+    "SparqlEvalError",
+    "SparqlSyntaxError",
+    "contains",
+    "haversine_km",
+    "parse_point",
+    "parse_query",
+    "query",
+    "st_distance",
+    "st_intersects",
+    "st_point",
+    "tokenize_text",
+    "try_parse_point",
+]

@@ -1,0 +1,34 @@
+"""SPARQL engine exceptions."""
+
+from __future__ import annotations
+
+
+class SparqlError(Exception):
+    """Base class for all SPARQL engine errors."""
+
+
+class SparqlSyntaxError(SparqlError):
+    """Raised by the tokenizer/parser on malformed query text."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SparqlEvalError(SparqlError):
+    """Raised on unrecoverable evaluation errors.
+
+    Note: *expression* errors inside FILTER follow the SPARQL spec and
+    silently make the filter fail for that solution — this exception is for
+    structural problems (unknown function, invalid query form).
+    """
+
+
+class ExpressionError(SparqlError):
+    """Internal: an expression evaluated to an error value.
+
+    Caught by FILTER/ORDER BY handling per the SPARQL error semantics;
+    never propagates out of the evaluator.
+    """

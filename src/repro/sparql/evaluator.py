@@ -1,0 +1,803 @@
+"""SPARQL query evaluation over :class:`repro.rdf.Graph`.
+
+Evaluation streams solution mappings (dicts of variable → term) through
+the group-graph-pattern elements:
+
+* BGPs are join-reordered greedily — at each step the most selective
+  remaining triple pattern (most bound positions under the current
+  bindings) is matched against the store's indexes;
+* FILTERs within a group are collected and applied after the group's
+  other elements, matching SPARQL's group-level filter scoping;
+* OPTIONAL is a left join, UNION a concatenation, sub-SELECTs are
+  evaluated independently and hash-joined back in.
+
+Expression errors follow the spec: a FILTER whose expression errors
+rejects the solution; an ORDER BY key that errors sorts lowest.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..rdf.graph import Dataset, Graph
+from ..rdf.terms import BNode, Literal, Term, URIRef, Variable
+from .ast import (
+    AggregateBinding,
+    AndExpr,
+    ArithExpr,
+    AskQuery,
+    BGP,
+    BindPattern,
+    CompareExpr,
+    ConstructQuery,
+    DescribeQuery,
+    ExistsExpr,
+    Expression,
+    FilterPattern,
+    FunctionCall,
+    GraphGraphPattern,
+    GroupPattern,
+    InExpr,
+    NegExpr,
+    NotExpr,
+    OptionalPattern,
+    OrExpr,
+    PatternNode,
+    Query,
+    SelectQuery,
+    SubSelectPattern,
+    TermExpr,
+    TriplePatternNode,
+    UnionPattern,
+    ValuesPattern,
+)
+from .errors import ExpressionError, SparqlEvalError
+from .functions import FUNCTIONS, arithmetic, boolean, compare, ebv
+from .parser import parse_query
+from .results import Row, SelectResult
+
+Bindings = Dict[Variable, Term]
+
+#: Virtuoso magic predicate for full-text matching in triple position.
+_MAGIC_CONTAINS = URIRef("bif:contains")
+
+_EMPTY: Bindings = {}
+
+
+class Evaluator:
+    """Evaluates parsed queries against a graph.
+
+    ``functions`` extends/overrides the builtin function registry — this is
+    how deployments register extra ``bif:`` style extensions.
+    """
+
+    def __init__(
+        self,
+        graph,
+        functions: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if isinstance(graph, Dataset):
+            # Virtuoso-style: the default graph for plain BGPs is the
+            # union of everything; GRAPH patterns address named graphs.
+            self.dataset: Optional[Dataset] = graph
+            self.graph = graph.union_graph()
+        else:
+            self.dataset = None
+            self.graph = graph
+        self.functions = dict(FUNCTIONS)
+        if functions:
+            self.functions.update(functions)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def evaluate(self, query) -> object:
+        """Evaluate a query AST or query string.
+
+        Returns a :class:`SelectResult` for SELECT, ``bool`` for ASK and a
+        :class:`~repro.rdf.Graph` for CONSTRUCT/DESCRIBE.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, SelectQuery):
+            return self._eval_select(query)
+        if isinstance(query, AskQuery):
+            return self._eval_ask(query)
+        if isinstance(query, ConstructQuery):
+            return self._eval_construct(query)
+        if isinstance(query, DescribeQuery):
+            return self._eval_describe(query)
+        raise SparqlEvalError(f"unsupported query form: {query!r}")
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def _eval_select(self, query: SelectQuery) -> SelectResult:
+        rows = self._select_rows(query)
+        variables = query.variables or self._collect_variables(query.where)
+        return SelectResult(variables, rows)
+
+    def _select_rows(self, query: SelectQuery) -> List[Row]:
+        solutions = self._eval_group(query.where, iter([dict()]))
+
+        if query.group_by or any(
+            agg.function != "EXPR" for agg in query.aggregates
+        ):
+            solutions = self._aggregate(query, solutions)
+        elif query.aggregates:
+            # plain (expr AS ?v) projections without grouping
+            solutions = self._bind_projection_exprs(query, solutions)
+
+        materialized = list(solutions)
+
+        if query.order_by:
+            materialized.sort(
+                key=lambda row: tuple(
+                    self._order_key(cond, row) for cond in query.order_by
+                )
+            )
+
+        variables = query.variables or self._collect_variables(query.where)
+        projected: List[Row] = [
+            {v: row[v] for v in variables if v in row}
+            for row in materialized
+        ]
+
+        if query.distinct or query.reduced:
+            seen = set()
+            unique: List[Row] = []
+            for row in projected:
+                key = tuple(sorted((str(k), v) for k, v in row.items()))
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            projected = unique
+
+        if query.offset:
+            projected = projected[query.offset :]
+        if query.limit is not None:
+            projected = projected[: query.limit]
+        return projected
+
+    def _bind_projection_exprs(
+        self, query: SelectQuery, solutions: Iterator[Bindings]
+    ) -> Iterator[Bindings]:
+        for row in solutions:
+            extended = dict(row)
+            for agg in query.aggregates:
+                try:
+                    extended[agg.alias] = self._eval_expression(
+                        agg.argument, extended
+                    )
+                except ExpressionError:
+                    pass
+            yield extended
+
+    def _aggregate(
+        self, query: SelectQuery, solutions: Iterator[Bindings]
+    ) -> Iterator[Bindings]:
+        groups: Dict[Tuple, List[Bindings]] = {}
+        for row in solutions:
+            key_parts = []
+            for expr in query.group_by:
+                try:
+                    key_parts.append(self._eval_expression(expr, row))
+                except ExpressionError:
+                    key_parts.append(None)
+            groups.setdefault(tuple(key_parts), []).append(row)
+        if not groups and not query.group_by:
+            groups[()] = []
+
+        for key, rows in groups.items():
+            result: Bindings = {}
+            for expr, value in zip(query.group_by, key):
+                if isinstance(expr, TermExpr) and isinstance(
+                    expr.term, Variable
+                ) and value is not None:
+                    result[expr.term] = value
+            for agg in query.aggregates:
+                value = self._eval_aggregate(agg, rows)
+                if value is not None:
+                    result[agg.alias] = value
+            yield result
+
+    def _eval_aggregate(
+        self, agg: AggregateBinding, rows: List[Bindings]
+    ) -> Optional[Term]:
+        if agg.function == "COUNT" and agg.argument is None:
+            return Literal(len(rows))
+        values: List[Term] = []
+        for row in rows:
+            try:
+                if agg.argument is None:
+                    continue
+                values.append(self._eval_expression(agg.argument, row))
+            except ExpressionError:
+                continue
+        if agg.distinct:
+            seen = set()
+            unique = []
+            for v in values:
+                if v not in seen:
+                    seen.add(v)
+                    unique.append(v)
+            values = unique
+        if agg.function == "COUNT":
+            return Literal(len(values))
+        if agg.function == "SAMPLE" or agg.function == "EXPR":
+            return values[0] if values else None
+        if agg.function in ("MIN", "MAX"):
+            if not values:
+                return None
+            picked = min(values) if agg.function == "MIN" else max(values)
+            return picked
+        numeric = [
+            v.value
+            for v in values
+            if isinstance(v, Literal) and v.is_numeric
+        ]
+        if len(numeric) != len(values) or not numeric:
+            return None
+        if agg.function == "SUM":
+            total = sum(numeric)
+            return Literal(total)
+        if agg.function == "AVG":
+            return Literal(sum(numeric) / len(numeric))
+        raise SparqlEvalError(f"unknown aggregate {agg.function}")
+
+    def _order_key(self, cond, row: Bindings) -> Tuple:
+        try:
+            term = self._eval_expression(cond.expression, row)
+            key = term._sort_key()
+            error = False
+        except ExpressionError:
+            key = ()
+            error = True
+        if cond.descending:
+            return (_Desc((error, key)),)
+        return ((error, key),)
+
+    def _collect_variables(self, node: PatternNode) -> List[Variable]:
+        found: List[Variable] = []
+        seen = set()
+
+        def visit(element: PatternNode) -> None:
+            if isinstance(element, BGP):
+                for triple in element.triples:
+                    for var in triple.variables():
+                        if var not in seen:
+                            seen.add(var)
+                            found.append(var)
+            elif isinstance(element, GroupPattern):
+                for child in element.elements:
+                    visit(child)
+            elif isinstance(element, OptionalPattern):
+                visit(element.group)
+            elif isinstance(element, UnionPattern):
+                for branch in element.branches:
+                    visit(branch)
+            elif isinstance(element, BindPattern):
+                if element.variable not in seen:
+                    seen.add(element.variable)
+                    found.append(element.variable)
+            elif isinstance(element, ValuesPattern):
+                for var in element.variables:
+                    if var not in seen:
+                        seen.add(var)
+                        found.append(var)
+            elif isinstance(element, SubSelectPattern):
+                inner = element.query.variables or self._collect_variables(
+                    element.query.where
+                )
+                for var in inner:
+                    if var not in seen:
+                        seen.add(var)
+                        found.append(var)
+
+        visit(node)
+        return found
+
+    # ------------------------------------------------------------------
+    # ASK / CONSTRUCT / DESCRIBE
+    # ------------------------------------------------------------------
+    def _eval_ask(self, query: AskQuery) -> bool:
+        for _ in self._eval_group(query.where, iter([dict()])):
+            return True
+        return False
+
+    def _eval_construct(self, query: ConstructQuery) -> Graph:
+        result = Graph()
+        solutions = self._eval_group(query.where, iter([dict()]))
+        materialized = list(solutions)
+        if query.offset:
+            materialized = materialized[query.offset :]
+        if query.limit is not None:
+            materialized = materialized[: query.limit]
+        for index, row in enumerate(materialized):
+            bnode_map: Dict[BNode, BNode] = {}
+            for pattern in query.template:
+                triple = []
+                ok = True
+                for position in (
+                    pattern.subject,
+                    pattern.predicate,
+                    pattern.object,
+                ):
+                    if isinstance(position, Variable):
+                        term = row.get(position)
+                        if term is None:
+                            ok = False
+                            break
+                        triple.append(term)
+                    elif isinstance(position, BNode):
+                        fresh = bnode_map.setdefault(
+                            position, BNode(f"c{index}_{position}")
+                        )
+                        triple.append(fresh)
+                    else:
+                        triple.append(position)
+                if not ok:
+                    continue
+                s, p, o = triple
+                if isinstance(s, Literal) or isinstance(p, (Literal, BNode)):
+                    continue
+                result.add((s, p, o))
+        return result
+
+    def _eval_describe(self, query: DescribeQuery) -> Graph:
+        result = Graph()
+        targets: List[Term] = []
+        if query.where is not None:
+            for row in self._eval_group(query.where, iter([dict()])):
+                for term in query.terms:
+                    if isinstance(term, Variable):
+                        bound = row.get(term)
+                        if bound is not None:
+                            targets.append(bound)
+        for term in query.terms:
+            if not isinstance(term, Variable):
+                targets.append(term)
+        for target in dict.fromkeys(targets):
+            for triple in self.graph.triples((target, None, None)):
+                result.add(triple)
+        return result
+
+    # ------------------------------------------------------------------
+    # Graph pattern evaluation
+    # ------------------------------------------------------------------
+    def _eval_group(
+        self,
+        group: GroupPattern,
+        solutions: Iterator[Bindings],
+        graph: Optional[Graph] = None,
+    ) -> Iterator[Bindings]:
+        graph = graph if graph is not None else self.graph
+        filters = [
+            e for e in group.elements if isinstance(e, FilterPattern)
+        ]
+        others = [
+            e for e in group.elements if not isinstance(e, FilterPattern)
+        ]
+        for element in others:
+            solutions = self._eval_element(element, solutions, graph)
+        for filter_pattern in filters:
+            solutions = self._eval_filter(filter_pattern, solutions, graph)
+        return solutions
+
+    def _eval_element(
+        self,
+        element: PatternNode,
+        solutions: Iterator[Bindings],
+        graph: Graph,
+    ) -> Iterator[Bindings]:
+        if isinstance(element, BGP):
+            return self._eval_bgp(element.triples, solutions, graph)
+        if isinstance(element, GroupPattern):
+            return self._eval_group(element, solutions, graph)
+        if isinstance(element, OptionalPattern):
+            return self._eval_optional(element, solutions, graph)
+        if isinstance(element, UnionPattern):
+            return self._eval_union(element, solutions, graph)
+        if isinstance(element, BindPattern):
+            return self._eval_bind(element, solutions, graph)
+        if isinstance(element, ValuesPattern):
+            return self._eval_values(element, solutions)
+        if isinstance(element, SubSelectPattern):
+            return self._eval_subselect(element, solutions)
+        if isinstance(element, GraphGraphPattern):
+            return self._eval_graph_pattern(element, solutions)
+        raise SparqlEvalError(f"unknown pattern element: {element!r}")
+
+    def _eval_graph_pattern(
+        self, element: GraphGraphPattern, solutions: Iterator[Bindings]
+    ) -> Iterator[Bindings]:
+        named = self.dataset.graphs() if self.dataset is not None else []
+        for binding in solutions:
+            target = element.target
+            if isinstance(target, Variable) and target in binding:
+                target = binding[target]
+            if isinstance(target, Variable):
+                for named_graph in named:
+                    extended = dict(binding)
+                    extended[target] = named_graph.identifier
+                    yield from self._eval_group(
+                        element.group, iter([extended]), named_graph
+                    )
+            else:
+                for named_graph in named:
+                    if named_graph.identifier == target:
+                        yield from self._eval_group(
+                            element.group, iter([binding]), named_graph
+                        )
+                        break
+
+    def _eval_bgp(
+        self,
+        triples: Sequence[TriplePatternNode],
+        solutions: Iterator[Bindings],
+        graph: Graph,
+    ) -> Iterator[Bindings]:
+        for binding in solutions:
+            yield from self._match_bgp(list(triples), binding, graph)
+
+    def _match_bgp(
+        self,
+        remaining: List[TriplePatternNode],
+        binding: Bindings,
+        graph: Graph,
+    ) -> Iterator[Bindings]:
+        if not remaining:
+            yield binding
+            return
+        # (graph is threaded so GRAPH patterns scope their own store)
+        # pick the most selective pattern under current bindings; magic
+        # bif: predicates are deferred until their subject is bound
+        best_idx = 0
+        best_score = -10
+        for idx, pattern in enumerate(remaining):
+            if pattern.predicate == _MAGIC_CONTAINS:
+                subject_ready = (
+                    not isinstance(pattern.subject, Variable)
+                    or pattern.subject in binding
+                )
+                score = 4 if subject_ready else -5
+            else:
+                score = 0
+                for position in (
+                    pattern.subject,
+                    pattern.predicate,
+                    pattern.object,
+                ):
+                    if not isinstance(position, Variable) \
+                            or position in binding:
+                        score += 1
+            if score > best_score:
+                best_score = score
+                best_idx = idx
+        pattern = remaining[best_idx]
+        rest = remaining[:best_idx] + remaining[best_idx + 1 :]
+
+        if pattern.predicate == _MAGIC_CONTAINS:
+            yield from self._match_magic_contains(
+                pattern, rest, binding, graph
+            )
+            return
+
+        def resolve(position):
+            if isinstance(position, Variable):
+                return binding.get(position)
+            return position
+
+        s = resolve(pattern.subject)
+        p = resolve(pattern.predicate)
+        o = resolve(pattern.object)
+        # Literals can never be subjects/predicates in the store
+        if isinstance(s, Literal) or isinstance(p, (Literal, BNode)):
+            return
+        for ts, tp, to in graph.triples((s, p, o)):
+            new_binding = binding
+            extended: Optional[Bindings] = None
+            conflict = False
+            for position, value in (
+                (pattern.subject, ts),
+                (pattern.predicate, tp),
+                (pattern.object, to),
+            ):
+                if isinstance(position, Variable):
+                    current = (
+                        extended.get(position)
+                        if extended is not None
+                        else binding.get(position)
+                    )
+                    if current is None:
+                        if extended is None:
+                            extended = dict(new_binding)
+                        extended[position] = value
+                    elif current != value:
+                        conflict = True
+                        break
+            if conflict:
+                continue
+            yield from self._match_bgp(
+                rest, extended if extended is not None else binding,
+                graph,
+            )
+
+    def _match_magic_contains(
+        self,
+        pattern: TriplePatternNode,
+        rest: List[TriplePatternNode],
+        binding: Bindings,
+        graph: Graph,
+    ) -> Iterator[Bindings]:
+        """Virtuoso's ``?text bif:contains "pattern"`` magic predicate:
+        a full-text constraint on an already-bound literal."""
+        from .fulltext import contains as fulltext_contains
+
+        subject = pattern.subject
+        if isinstance(subject, Variable):
+            subject = binding.get(subject)
+        if subject is None:
+            raise SparqlEvalError(
+                "bif:contains requires its subject to be bound by "
+                "another pattern"
+            )
+        needle = pattern.object
+        if isinstance(needle, Variable):
+            needle = binding.get(needle)
+        if not isinstance(needle, Literal):
+            raise SparqlEvalError(
+                "bif:contains requires a literal search pattern"
+            )
+        if isinstance(subject, Literal) and fulltext_contains(
+            subject.lexical, needle.lexical
+        ):
+            yield from self._match_bgp(rest, binding, graph)
+
+    def _eval_optional(
+        self,
+        element: OptionalPattern,
+        solutions: Iterator[Bindings],
+        graph: Graph,
+    ) -> Iterator[Bindings]:
+        for binding in solutions:
+            matched = False
+            for extended in self._eval_group(
+                element.group, iter([binding]), graph
+            ):
+                matched = True
+                yield extended
+            if not matched:
+                yield binding
+
+    def _eval_union(
+        self,
+        element: UnionPattern,
+        solutions: Iterator[Bindings],
+        graph: Graph,
+    ) -> Iterator[Bindings]:
+        for binding in solutions:
+            for branch in element.branches:
+                yield from self._eval_group(branch, iter([binding]), graph)
+
+    def _eval_bind(
+        self,
+        element: BindPattern,
+        solutions: Iterator[Bindings],
+        graph: Graph,
+    ) -> Iterator[Bindings]:
+        for binding in solutions:
+            if element.variable in binding:
+                raise SparqlEvalError(
+                    f"BIND would rebind ?{element.variable}"
+                )
+            extended = dict(binding)
+            try:
+                extended[element.variable] = self._eval_expression(
+                    element.expression, binding, graph
+                )
+            except ExpressionError:
+                pass  # variable stays unbound per spec
+            yield extended
+
+    def _eval_values(
+        self, element: ValuesPattern, solutions: Iterator[Bindings]
+    ) -> Iterator[Bindings]:
+        for binding in solutions:
+            for row in element.rows:
+                merged = dict(binding)
+                compatible = True
+                for var, value in zip(element.variables, row):
+                    if value is None:
+                        continue
+                    current = merged.get(var)
+                    if current is None:
+                        merged[var] = value
+                    elif current != value:
+                        compatible = False
+                        break
+                if compatible:
+                    yield merged
+
+    def _eval_subselect(
+        self, element: SubSelectPattern, solutions: Iterator[Bindings]
+    ) -> Iterator[Bindings]:
+        inner_rows = self._select_rows(element.query)
+        for binding in solutions:
+            for row in inner_rows:
+                merged = dict(binding)
+                compatible = True
+                for var, value in row.items():
+                    current = merged.get(var)
+                    if current is None:
+                        merged[var] = value
+                    elif current != value:
+                        compatible = False
+                        break
+                if compatible:
+                    yield merged
+
+    def _eval_filter(
+        self,
+        element: FilterPattern,
+        solutions: Iterator[Bindings],
+        graph: Optional[Graph] = None,
+    ) -> Iterator[Bindings]:
+        graph = graph if graph is not None else self.graph
+        for binding in solutions:
+            try:
+                value = self._eval_expression(
+                    element.expression, binding, graph
+                )
+                if ebv(value):
+                    yield binding
+            except ExpressionError:
+                continue
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def _eval_expression(
+        self,
+        expression: Expression,
+        binding: Bindings,
+        graph: Optional[Graph] = None,
+    ) -> Term:
+        graph = graph if graph is not None else self.graph
+        if isinstance(expression, TermExpr):
+            term = expression.term
+            if isinstance(term, Variable):
+                value = binding.get(term)
+                if value is None:
+                    raise ExpressionError(f"unbound variable ?{term}")
+                return value
+            return term
+        if isinstance(expression, OrExpr):
+            error: Optional[ExpressionError] = None
+            for operand in expression.operands:
+                try:
+                    if ebv(self._eval_expression(operand, binding, graph)):
+                        return boolean(True)
+                except ExpressionError as exc:
+                    error = exc
+            if error is not None:
+                raise error
+            return boolean(False)
+        if isinstance(expression, AndExpr):
+            error = None
+            for operand in expression.operands:
+                try:
+                    if not ebv(self._eval_expression(operand, binding, graph)):
+                        return boolean(False)
+                except ExpressionError as exc:
+                    error = exc
+            if error is not None:
+                raise error
+            return boolean(True)
+        if isinstance(expression, NotExpr):
+            return boolean(
+                not ebv(
+                    self._eval_expression(
+                        expression.operand, binding, graph
+                    )
+                )
+            )
+        if isinstance(expression, NegExpr):
+            value = self._eval_expression(expression.operand, binding, graph)
+            if isinstance(value, Literal) and value.is_numeric:
+                negated = -value.value
+                return Literal(negated)
+            raise ExpressionError(f"cannot negate {value!r}")
+        if isinstance(expression, CompareExpr):
+            left = self._eval_expression(expression.left, binding, graph)
+            right = self._eval_expression(
+                expression.right, binding, graph
+            )
+            return boolean(compare(expression.op, left, right))
+        if isinstance(expression, InExpr):
+            operand = self._eval_expression(expression.operand, binding, graph)
+            found = False
+            for choice in expression.choices:
+                try:
+                    candidate = self._eval_expression(choice, binding, graph)
+                except ExpressionError:
+                    continue
+                from .functions import equals
+
+                if equals(operand, candidate):
+                    found = True
+                    break
+            return boolean(found != expression.negated)
+        if isinstance(expression, ArithExpr):
+            left = self._eval_expression(expression.left, binding, graph)
+            right = self._eval_expression(
+                expression.right, binding, graph
+            )
+            return arithmetic(expression.op, left, right)
+        if isinstance(expression, FunctionCall):
+            return self._eval_function(expression, binding, graph)
+        if isinstance(expression, ExistsExpr):
+            exists = any(
+                True
+                for _ in self._eval_group(
+                    expression.group, iter([dict(binding)]), graph
+                )
+            )
+            return boolean(exists != expression.negated)
+        raise SparqlEvalError(f"unknown expression: {expression!r}")
+
+    def _eval_function(
+        self,
+        call: FunctionCall,
+        binding: Bindings,
+        graph: Optional[Graph] = None,
+    ) -> Term:
+        graph = graph if graph is not None else self.graph
+        if call.name == "BOUND":
+            if len(call.args) != 1 or not isinstance(
+                call.args[0], TermExpr
+            ) or not isinstance(call.args[0].term, Variable):
+                raise ExpressionError("BOUND requires a single variable")
+            return boolean(call.args[0].term in binding)
+        if call.name == "COALESCE":
+            for arg in call.args:
+                try:
+                    return self._eval_expression(arg, binding, graph)
+                except ExpressionError:
+                    continue
+            raise ExpressionError("COALESCE: all arguments errored")
+        if call.name == "IF":
+            if len(call.args) != 3:
+                raise ExpressionError("IF expects 3 arguments")
+            condition = ebv(
+                self._eval_expression(call.args[0], binding, graph)
+            )
+            chosen = call.args[1] if condition else call.args[2]
+            return self._eval_expression(chosen, binding, graph)
+
+        implementation = self.functions.get(call.name)
+        if implementation is None:
+            raise SparqlEvalError(f"unknown function: {call.name}")
+        args = [self._eval_expression(a, binding, graph) for a in call.args]
+        return implementation(args)
+
+
+class _Desc:
+    """Wrapper inverting sort order for DESC order conditions."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Desc") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Desc) and self.value == other.value
+
+
+def query(graph: Graph, text: str, **kwargs) -> object:
+    """One-shot convenience: parse and evaluate ``text`` against ``graph``."""
+    return Evaluator(graph, **kwargs).evaluate(text)

@@ -1,0 +1,162 @@
+"""Full-text support: tokenization, matching and an inverted index.
+
+Two consumers:
+
+* the SPARQL evaluator's ``bif:contains(?text, 'pattern')`` filter
+  function — per-solution matching with Virtuoso's AND/OR/quoted-phrase
+  mini-language;
+* :class:`FullTextIndex` — an inverted index over literal objects in a
+  graph, used by the resolvers and the incremental search interface where
+  scanning every literal per keystroke would be too slow.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Literal, Term, URIRef
+
+_WORD_RE = re.compile(r"[\w']+", re.UNICODE)
+
+
+def tokenize_text(text: str) -> List[str]:
+    """Lower-cased word tokens of ``text``."""
+    return [w.lower() for w in _WORD_RE.findall(text)]
+
+
+def _parse_pattern(pattern: str) -> List[List[str]]:
+    """Parse a ``bif:contains`` pattern into OR-of-AND token groups.
+
+    Supports the subset of Virtuoso's text-search syntax used here:
+    bare words (implicit AND), ``AND``, ``OR`` and double-quoted phrases
+    (matched as consecutive tokens). Returns a disjunction of
+    conjunctions, each conjunct being a phrase (list of tokens treated as
+    one unit when longer than one).
+    """
+    parts = re.findall(r'"[^"]*"|\S+', pattern)
+    groups: List[List[str]] = [[]]
+    expect_term = True
+    for part in parts:
+        upper = part.upper()
+        if upper == "OR" and not expect_term:
+            groups.append([])
+            expect_term = True
+            continue
+        if upper == "AND" and not expect_term:
+            expect_term = True
+            continue
+        if part.startswith('"') and part.endswith('"'):
+            phrase = " ".join(tokenize_text(part[1:-1]))
+            if phrase:
+                groups[-1].append(phrase)
+        else:
+            for token in tokenize_text(part):
+                groups[-1].append(token)
+        expect_term = False
+    return [g for g in groups if g]
+
+
+def contains(text: str, pattern: str) -> bool:
+    """Virtuoso-style ``bif:contains`` evaluation against ``text``."""
+    tokens = tokenize_text(text)
+    token_set = set(tokens)
+    joined = " ".join(tokens)
+    groups = _parse_pattern(pattern)
+    if not groups:
+        return False
+    for group in groups:
+        if all(
+            (term in token_set)
+            if " " not in term
+            else (term in joined)
+            for term in group
+        ):
+            return True
+    return False
+
+
+class FullTextIndex:
+    """Inverted index mapping word tokens to (subject, predicate) pairs.
+
+    Indexes every literal object in a graph. Lookups return the subjects
+    whose literals contain the query tokens; :meth:`search_prefix`
+    supports the mobile interface's search-as-you-type behaviour.
+    """
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Set[Tuple[Term, Term]]] = defaultdict(set)
+        self._prefix_cache: Optional[List[str]] = None
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        predicates: Optional[Iterable[Term]] = None,
+    ) -> "FullTextIndex":
+        """Build an index over ``graph`` literals.
+
+        ``predicates`` restricts indexing to the given predicates (e.g.
+        only ``rdfs:label``); by default every literal is indexed.
+        """
+        index = cls()
+        wanted = set(predicates) if predicates is not None else None
+        for s, p, o in graph:
+            if not isinstance(o, Literal):
+                continue
+            if wanted is not None and p not in wanted:
+                continue
+            index.add(s, p, o.lexical)
+        return index
+
+    def add(self, subject: Term, predicate: Term, text: str) -> None:
+        for token in tokenize_text(text):
+            self._postings[token].add((subject, predicate))
+        self._prefix_cache = None
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def search(self, query: str) -> Set[Term]:
+        """Subjects whose indexed text contains *all* query tokens."""
+        tokens = tokenize_text(query)
+        if not tokens:
+            return set()
+        result: Optional[Set[Term]] = None
+        for token in tokens:
+            subjects = {s for s, _ in self._postings.get(token, ())}
+            result = subjects if result is None else result & subjects
+            if not result:
+                return set()
+        return result or set()
+
+    def search_prefix(self, prefix: str, limit: int = 50) -> Set[Term]:
+        """Subjects with any indexed token starting with ``prefix``.
+
+        This is the AJAX search-box primitive (Figure 2/3 of the paper):
+        the last keystroke's partial word matches by prefix.
+        """
+        prefix = prefix.lower()
+        if not prefix:
+            return set()
+        if self._prefix_cache is None:
+            self._prefix_cache = sorted(self._postings)
+        import bisect
+
+        tokens = self._prefix_cache
+        start = bisect.bisect_left(tokens, prefix)
+        result: Set[Term] = set()
+        for idx in range(start, len(tokens)):
+            token = tokens[idx]
+            if not token.startswith(prefix):
+                break
+            result.update(s for s, _ in self._postings[token])
+            if len(result) >= limit:
+                break
+        return result
+
+    def tokens(self) -> List[str]:
+        """All indexed tokens (sorted)."""
+        return sorted(self._postings)

@@ -1,0 +1,112 @@
+"""Geospatial support: geometry literals and Virtuoso-style geo functions.
+
+The paper stores positions as ``geo:geometry`` literals in WKT ``POINT``
+form (the representation Virtuoso's ``rdf_geo_fill`` produces) and filters
+with ``bif:st_intersects(?g1, ?g2, precision)``. In Virtuoso the third
+argument is a distance tolerance; for WGS84 data the unit is kilometers.
+We reproduce exactly that: two points "intersect" when their great-circle
+(haversine) distance is at most ``precision`` kilometers.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..rdf.terms import Literal, Term
+
+#: Mean Earth radius in kilometers (IUGG value, same as Virtuoso uses).
+EARTH_RADIUS_KM = 6371.0
+
+_POINT_RE = re.compile(
+    r"^\s*POINT\s*\(\s*([+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)"
+    r"\s+([+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)\s*\)\s*$",
+    re.IGNORECASE,
+)
+
+
+class GeometryError(ValueError):
+    """Raised on unparseable geometry literals."""
+
+
+@dataclass(frozen=True)
+class Point:
+    """A WGS84 point. WKT order is ``POINT(longitude latitude)``."""
+
+    longitude: float
+    latitude: float
+
+    def __post_init__(self) -> None:
+        if not -180.0 <= self.longitude <= 180.0:
+            raise GeometryError(f"longitude out of range: {self.longitude}")
+        if not -90.0 <= self.latitude <= 90.0:
+            raise GeometryError(f"latitude out of range: {self.latitude}")
+
+    def wkt(self) -> str:
+        return f"POINT({_fmt(self.longitude)} {_fmt(self.latitude)})"
+
+    def to_literal(self) -> Literal:
+        """The ``geo:geometry`` literal form used in the store."""
+        return Literal(self.wkt())
+
+
+def _fmt(value: float) -> str:
+    text = f"{value:.6f}".rstrip("0").rstrip(".")
+    return text if text not in ("", "-") else "0"
+
+
+def parse_point(value: Union[str, Term, Point]) -> Point:
+    """Parse a WKT POINT literal (or pass through a :class:`Point`)."""
+    if isinstance(value, Point):
+        return value
+    text = str(value)
+    match = _POINT_RE.match(text)
+    if not match:
+        raise GeometryError(f"not a POINT geometry: {text!r}")
+    return Point(float(match.group(1)), float(match.group(2)))
+
+
+def try_parse_point(value: Union[str, Term, Point]) -> Optional[Point]:
+    """Like :func:`parse_point` but returns ``None`` on failure."""
+    try:
+        return parse_point(value)
+    except GeometryError:
+        return None
+
+
+def haversine_km(a: Point, b: Point) -> float:
+    """Great-circle distance between two points in kilometers."""
+    lat1 = math.radians(a.latitude)
+    lat2 = math.radians(b.latitude)
+    dlat = lat2 - lat1
+    dlon = math.radians(b.longitude - a.longitude)
+    h = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def st_distance(a: Union[str, Term, Point], b: Union[str, Term, Point]) -> float:
+    """``bif:st_distance`` — distance in kilometers."""
+    return haversine_km(parse_point(a), parse_point(b))
+
+
+def st_intersects(
+    a: Union[str, Term, Point],
+    b: Union[str, Term, Point],
+    precision_km: float = 0.0,
+) -> bool:
+    """``bif:st_intersects`` — true when within ``precision_km`` kilometers.
+
+    With the default precision of 0 only (numerically) identical points
+    intersect, matching Virtuoso's point/point semantics.
+    """
+    return st_distance(a, b) <= float(precision_km) + 1e-9
+
+
+def st_point(longitude: float, latitude: float) -> Literal:
+    """``bif:st_point`` — build a geometry literal from coordinates."""
+    return Point(float(longitude), float(latitude)).to_literal()

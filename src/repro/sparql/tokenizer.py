@@ -1,0 +1,103 @@
+"""SPARQL tokenizer.
+
+Produces a flat token stream consumed by :mod:`repro.sparql.parser`. The
+token inventory covers the SPARQL 1.0 subset the platform uses plus the
+Virtuoso extensions the paper's queries rely on (``bif:`` function names
+are ordinary prefixed names at this level).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .errors import SparqlSyntaxError
+
+#: Keywords recognized case-insensitively (returned upper-cased).
+KEYWORDS = frozenset(
+    {
+        "SELECT", "ASK", "CONSTRUCT", "DESCRIBE", "WHERE", "PREFIX", "BASE",
+        "DISTINCT", "REDUCED", "OPTIONAL", "UNION", "FILTER", "ORDER", "BY",
+        "ASC", "DESC", "LIMIT", "OFFSET", "VALUES", "IN", "NOT", "AS",
+        "GRAPH", "A", "TRUE", "FALSE", "UNDEF", "BIND", "GROUP", "HAVING",
+        "COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE", "EXISTS",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<iri><[^<>"{}|^`\\\x00-\x20]*>)
+  | (?P<var>[?$][A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"""
+    + r'"""(?:[^"\\]|\\.|"(?!""))*"""'
+    + r"""|'''(?:[^'\\]|\\.|'(?!''))*'''|"(?:[^"\\\n]|\\.)*"|'(?:[^'\\\n]|\\.)*')
+  | (?P<langtag>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<dtype>\^\^)
+  | (?P<number>[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<op><=|>=|!=|&&|\|\||[=<>!+\-*/])
+  | (?P<punct>[{}()\[\].,;])
+  | (?P<pname>[A-Za-z_][A-Za-z0-9_.\-]*?:[A-Za-z0-9_][A-Za-z0-9_.\-]*|[A-Za-z_][A-Za-z0-9_.\-]*?:(?![/]))
+  | (?P<bnode>_:[A-Za-z0-9][A-Za-z0-9._\-]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: a ``kind`` tag, raw ``text`` and source offset."""
+
+    kind: str
+    text: str
+    pos: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.text in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+EOF = Token("eof", "", -1)
+
+
+def tokenize(query: str) -> List[Token]:
+    """Tokenize ``query``, raising :class:`SparqlSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    pos = 0
+    length = len(query)
+    while pos < length:
+        match = _TOKEN_RE.match(query, pos)
+        if match is None:
+            raise SparqlSyntaxError(
+                f"unexpected character {query[pos]!r}", pos
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        start = pos
+        pos = match.end()
+        if kind == "ws":
+            continue
+        if kind == "name":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, start))
+            else:
+                tokens.append(Token("name", text, start))
+            continue
+        if kind == "var":
+            tokens.append(Token("var", text[1:], start))
+            continue
+        tokens.append(Token(kind, text, start))
+    tokens.append(Token("eof", "", length))
+    return tokens
+
+
+def unquote_string(text: str) -> str:
+    """Strip quotes from a string token's text (handles long strings)."""
+    if text.startswith(('"""', "'''")):
+        return text[3:-3]
+    return text[1:-1]

@@ -1,0 +1,20 @@
+"""Synthetic workloads and the gold corpus for the experiments."""
+
+from .generator import (
+    Workload,
+    WorkloadConfig,
+    generate_workload,
+    populate_platform,
+)
+from .gold import GOLD_CORPUS, GoldExample, ScoredCorpus, score_pipeline
+
+__all__ = [
+    "GOLD_CORPUS",
+    "GoldExample",
+    "ScoredCorpus",
+    "Workload",
+    "WorkloadConfig",
+    "generate_workload",
+    "populate_platform",
+    "score_pipeline",
+]

@@ -1,0 +1,88 @@
+"""Triple-tag codec tests (the paper's §1.1 examples verbatim)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.context import (
+    TripleTag,
+    TripleTagError,
+    decode_value,
+    encode_value,
+    parse_triple_tag,
+    split_tags,
+    try_parse_triple_tag,
+)
+
+
+class TestPaperExamples:
+    def test_people_fn(self):
+        tag = parse_triple_tag("people:fn=Walter+Goix")
+        assert tag == TripleTag("people", "fn", "Walter Goix")
+
+    def test_cell_cgi(self):
+        tag = parse_triple_tag("cell:cgi=460-0-9522-3661")
+        assert tag.namespace == "cell"
+        assert tag.value == "460-0-9522-3661"
+
+    def test_place_is_crowded(self):
+        tag = parse_triple_tag("place:is=crowded")
+        assert tag == TripleTag("place", "is", "crowded")
+
+    def test_poi_recs_id(self):
+        tag = parse_triple_tag("poi:recs_id=72")
+        assert tag.value == "72"
+
+
+class TestCodec:
+    def test_format_roundtrip(self):
+        tag = TripleTag("people", "fn", "Walter Goix")
+        assert parse_triple_tag(tag.format()) == tag
+
+    def test_encode_reserved_characters(self):
+        assert encode_value("a=b") == "a%3Db"
+        assert encode_value("50%") == "50%25"
+        assert encode_value("a+b") == "a%2Bb"
+
+    def test_decode_plus(self):
+        assert decode_value("Walter+Goix") == "Walter Goix"
+
+    def test_bad_escape(self):
+        with pytest.raises(TripleTagError):
+            decode_value("%zz")
+
+    def test_plain_tag_rejected(self):
+        with pytest.raises(TripleTagError):
+            parse_triple_tag("sunset")
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(TripleTagError):
+            parse_triple_tag("geo:lat")
+
+    def test_try_parse_none(self):
+        assert try_parse_triple_tag("just a tag") is None
+        assert try_parse_triple_tag("geo:lat=45.07") is not None
+
+    def test_known_namespace_flag(self):
+        assert parse_triple_tag("geo:lat=1").is_known_namespace
+        assert not parse_triple_tag("custom:x=1").is_known_namespace
+
+    def test_display_friendly(self):
+        assert parse_triple_tag(
+            "address:city=Turin"
+        ).display() == "city: Turin"
+
+    @given(st.text(max_size=40))
+    def test_value_roundtrip_property(self, value):
+        assert decode_value(encode_value(value)) == value
+
+
+class TestSplitTags:
+    def test_partition(self):
+        triple, plain = split_tags(
+            ["sunset", "people:fn=Walter+Goix", "mole", "place:is=crowded"]
+        )
+        assert [t.namespace for t in triple] == ["people", "place"]
+        assert plain == ["sunset", "mole"]
+
+    def test_empty(self):
+        assert split_tags([]) == ([], [])

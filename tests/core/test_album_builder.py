@@ -1,0 +1,143 @@
+"""AlbumBuilder tests: composing the paper's 'complex search conditions'."""
+
+import pytest
+
+from repro.core import AlbumBuilder, AlbumBuilderError, geo_album
+from repro.platform import Capture, Platform
+from repro.rdf import DBPR
+from repro.sparql import Point
+
+NEAR_MOLE = Point(7.6930, 45.0690)
+NEAR_MOLE_2 = Point(7.6938, 45.0695)
+FAR_AWAY = Point(7.6500, 45.0300)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    p = Platform()
+    p.register_user("oscar", "Oscar Rodriguez")
+    p.register_user("walter", "Walter Goix")
+    p.register_user("carmen", "Carmen Criminisi")
+    p.add_friendship("oscar", "walter")
+    p.upload(Capture("walter", "Tramonto sulla Mole Antonelliana",
+                     ("mole",), 1000, NEAR_MOLE))
+    p.upload(Capture("carmen", "Mole Antonelliana by night",
+                     ("night",), 2000, NEAR_MOLE_2))
+    p.upload(Capture("walter", "periferia di Torino", (), 3000,
+                     FAR_AWAY))
+    p.upload(Capture("walter", "another Mole picture", ("mole",),
+                     4000, NEAR_MOLE))
+    p.rate(1, 5.0)
+    p.rate(2, 3.0)
+    p.rate(4, 2.0)
+    p.semanticize()
+    return p
+
+
+def links(platform, album):
+    return set(album.links(platform.evaluator()))
+
+
+def url(platform, pid):
+    return platform.content(pid).media_url
+
+
+class TestGeoCriteria:
+    def test_near_label_equivalent_to_paper_q1(self, platform):
+        built = (AlbumBuilder().near_label("Mole Antonelliana",
+                                           radius_km=0.3).build())
+        paper = geo_album("Mole Antonelliana", radius_km=0.3)
+        assert links(platform, built) == links(platform, paper)
+
+    def test_near_point(self, platform):
+        album = AlbumBuilder().near_point(NEAR_MOLE, 0.2).build()
+        assert links(platform, album) == {
+            url(platform, 1), url(platform, 2), url(platform, 4),
+        }
+
+
+class TestSocialCriteria:
+    def test_by_user(self, platform):
+        album = AlbumBuilder().by_user("carmen").build()
+        assert links(platform, album) == {url(platform, 2)}
+
+    def test_by_friend_of(self, platform):
+        album = (AlbumBuilder()
+                 .near_label("Mole Antonelliana", radius_km=0.3)
+                 .by_friend_of("oscar").build())
+        assert links(platform, album) == {
+            url(platform, 1), url(platform, 4),
+        }
+
+
+class TestRatingAndTime:
+    def test_min_rating(self, platform):
+        album = (AlbumBuilder()
+                 .near_label("Mole Antonelliana", radius_km=0.3)
+                 .min_rating(3).build())
+        assert links(platform, album) == {
+            url(platform, 1), url(platform, 2),
+        }
+
+    def test_order_by_rating(self, platform):
+        album = (AlbumBuilder()
+                 .near_label("Mole Antonelliana", radius_km=0.3)
+                 .order_by_rating().build())
+        ordered = album.links(platform.evaluator())
+        assert ordered[0] == url(platform, 1)  # rating 5 first
+
+    def test_taken_between(self, platform):
+        album = AlbumBuilder().taken_between(1500, 3500).build()
+        assert links(platform, album) == {
+            url(platform, 2), url(platform, 3),
+        }
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(AlbumBuilderError):
+            AlbumBuilder().taken_between(10, 5)
+
+
+class TestConceptAndText:
+    def test_about_concept(self, platform):
+        album = (AlbumBuilder()
+                 .about_concept(DBPR.Mole_Antonelliana).build())
+        result = links(platform, album)
+        assert url(platform, 1) in result
+        assert url(platform, 3) not in result
+
+    def test_titled_like_fulltext(self, platform):
+        album = AlbumBuilder().titled_like("periferia").build()
+        assert links(platform, album) == {url(platform, 3)}
+
+    def test_limit(self, platform):
+        album = (AlbumBuilder()
+                 .near_label("Mole Antonelliana", radius_km=0.3)
+                 .order_by_rating().limit(1).build())
+        assert album.links(platform.evaluator()) == [url(platform, 1)]
+
+    def test_invalid_limit(self):
+        with pytest.raises(AlbumBuilderError):
+            AlbumBuilder().limit(0)
+
+
+class TestComposition:
+    def test_everything_together(self, platform):
+        album = (AlbumBuilder("the works")
+                 .near_label("Mole Antonelliana", radius_km=0.3)
+                 .by_friend_of("oscar")
+                 .min_rating(1)
+                 .taken_between(0, 1500)
+                 .order_by_rating()
+                 .limit(5)
+                 .build())
+        assert links(platform, album) == {url(platform, 1)}
+
+    def test_sparql_is_single_select(self, platform):
+        query = (AlbumBuilder()
+                 .near_label("Mole Antonelliana")
+                 .by_user("walter").sparql())
+        assert query.count("SELECT") == 1
+        # and it parses
+        from repro.sparql import parse_query
+
+        parse_query(query)

@@ -1,0 +1,216 @@
+"""Semantic filtering rule tests (paper §2.2.2)."""
+
+import pytest
+
+from repro.core.filtering import (
+    DEFAULT_PRIORITY,
+    Reason,
+    SemanticFilter,
+)
+from repro.lod import build_lod_corpus
+from repro.lod.geonames import geonames_uri
+from repro.rdf import DBPR, EVRIR, URIRef
+from repro.resolvers import Candidate
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_lod_corpus()
+
+
+@pytest.fixture(scope="module")
+def semantic_filter(corpus):
+    return SemanticFilter(corpus)
+
+
+def make(resource, label, score=0.9, resolver="sindice", word="x"):
+    return Candidate(
+        resource=resource, label=label, score=score,
+        resolver=resolver, word=word,
+    )
+
+
+class TestPriorities:
+    def test_geonames_beats_dbpedia(self, semantic_filter):
+        outcome = semantic_filter.filter_word(
+            "Turin",
+            [
+                make(DBPR.Turin, "Turin", 1.0, "dbpedia"),
+                make(geonames_uri(3165524), "Turin", 0.9, "geonames"),
+            ],
+        )
+        assert outcome.annotated
+        assert outcome.chosen.resource == geonames_uri(3165524)
+
+    def test_dbpedia_beats_evri(self, semantic_filter):
+        outcome = semantic_filter.filter_word(
+            "Colosseum",
+            [
+                make(EVRIR.Colosseum, "Colosseum", 0.95, "evri"),
+                make(DBPR.Colosseum, "Colosseum", 0.8, "dbpedia"),
+            ],
+        )
+        assert outcome.annotated
+        assert outcome.chosen.resource == DBPR.Colosseum
+
+    def test_other_graphs_discarded(self, semantic_filter):
+        outcome = semantic_filter.filter_word(
+            "Turin",
+            [make(URIRef("http://linkedgeodata.org/triplify/node1"),
+                  "Turin")],
+        )
+        assert outcome.reason is Reason.ALL_DISCARDED
+        assert "not in priority" in outcome.discarded[0][1]
+
+    def test_priority_order_is_papers(self):
+        assert DEFAULT_PRIORITY == ("geonames", "dbpedia", "evri")
+
+    def test_custom_priority_order(self, corpus):
+        flipped = SemanticFilter(
+            corpus, priority=("dbpedia", "geonames", "evri")
+        )
+        outcome = flipped.filter_word(
+            "Turin",
+            [
+                make(DBPR.Turin, "Turin", 1.0, "dbpedia"),
+                make(geonames_uri(3165524), "Turin", 0.9, "geonames"),
+            ],
+        )
+        assert outcome.chosen.resource == DBPR.Turin
+
+    def test_priority_disabled_makes_cross_graph_ambiguous(self, corpus):
+        no_priority = SemanticFilter(corpus, use_priority=False)
+        outcome = no_priority.filter_word(
+            "Turin",
+            [
+                make(DBPR.Turin, "Turin", 1.0, "dbpedia"),
+                make(geonames_uri(3165524), "Turin", 0.9, "geonames"),
+            ],
+        )
+        assert outcome.reason is Reason.AMBIGUOUS
+
+
+class TestValidation:
+    def test_unbound_resource_discarded(self, semantic_filter):
+        outcome = semantic_filter.filter_word(
+            "Ghost",
+            [make(DBPR.No_Such_Resource, "Ghost")],
+        )
+        assert outcome.reason is Reason.ALL_DISCARDED
+        assert "no binding" in outcome.discarded[0][1]
+
+    def test_disambiguation_page_discarded_for_non_dbpedia_resolver(
+        self, semantic_filter
+    ):
+        outcome = semantic_filter.filter_word(
+            "Paris",
+            [make(DBPR["Paris_(disambiguation)"], "Paris",
+                  resolver="sindice")],
+        )
+        assert outcome.reason is Reason.ALL_DISCARDED
+        assert "disambiguation" in outcome.discarded[0][1]
+
+    def test_disambiguation_check_skipped_for_dbpedia_resolver(
+        self, semantic_filter
+    ):
+        # the DBpedia resolver already performs this check at the source,
+        # so the filter trusts it (per the paper) — the page survives
+        outcome = semantic_filter.filter_word(
+            "Paris",
+            [make(DBPR["Paris_(disambiguation)"], "Paris",
+                  resolver="dbpedia")],
+        )
+        assert outcome.annotated
+
+    def test_validation_disabled(self, corpus):
+        lax = SemanticFilter(corpus, validate=False)
+        outcome = lax.filter_word(
+            "Ghost", [make(DBPR.No_Such_Resource, "Ghost")]
+        )
+        assert outcome.annotated
+
+
+class TestJaroWinkler:
+    def test_close_label_survives(self, semantic_filter):
+        outcome = semantic_filter.filter_word(
+            "Coliseum",
+            [make(DBPR.Colosseum, "Colosseum", 0.9, "sindice")],
+        )
+        assert outcome.annotated
+
+    def test_distant_label_discarded(self, semantic_filter):
+        outcome = semantic_filter.filter_word(
+            "sunset",
+            [make(DBPR.Turin, "Turin", 0.9, "sindice")],
+        )
+        assert outcome.reason is Reason.ALL_DISCARDED
+        assert "jaro-winkler" in outcome.discarded[0][1]
+
+    def test_max_dbpedia_score_escape_hatch(self, semantic_filter):
+        # label far from the word, but the DBpedia score is maximum
+        outcome = semantic_filter.filter_word(
+            "sunset",
+            [make(DBPR.Turin, "Turin", 1.0, "dbpedia")],
+        )
+        assert outcome.annotated
+
+    def test_escape_hatch_not_for_other_resolvers(self, semantic_filter):
+        outcome = semantic_filter.filter_word(
+            "sunset",
+            [make(geonames_uri(3165524), "Turin", 1.0, "geonames")],
+        )
+        assert outcome.reason is Reason.ALL_DISCARDED
+
+    def test_escape_hatch_disablable(self, corpus):
+        strict = SemanticFilter(
+            corpus, jw_escape_on_max_dbpedia_score=False
+        )
+        outcome = strict.filter_word(
+            "sunset", [make(DBPR.Turin, "Turin", 1.0, "dbpedia")]
+        )
+        assert outcome.reason is Reason.ALL_DISCARDED
+
+    def test_threshold_sweep_monotone(self, corpus):
+        # raising the threshold can only discard more
+        candidates = [make(DBPR.Colosseum, "Colosseum", 0.9, "sindice",
+                           "Coliseum")]
+        survivors = []
+        for threshold in (0.5, 0.8, 0.97):
+            f = SemanticFilter(corpus, jw_threshold=threshold)
+            outcome = f.filter_word("Coliseum", candidates)
+            survivors.append(len(outcome.survivors))
+        assert survivors[0] >= survivors[1] >= survivors[2]
+
+
+class TestSingleCandidateRule:
+    def test_two_survivors_same_graph_ambiguous(self, semantic_filter):
+        outcome = semantic_filter.filter_word(
+            "Paris",
+            [
+                make(DBPR.Paris, "Paris", 0.9, "dbpedia"),
+                make(DBPR["Paris_(mythology)"], "Paris (mythology)",
+                     0.7, "dbpedia"),
+            ],
+        )
+        assert outcome.reason is Reason.AMBIGUOUS
+        assert outcome.chosen is None
+        assert len(outcome.survivors) == 2
+
+    def test_higher_priority_graph_resolves_ambiguity(
+        self, semantic_filter
+    ):
+        outcome = semantic_filter.filter_word(
+            "Paris",
+            [
+                make(DBPR.Paris, "Paris", 0.9, "dbpedia"),
+                make(DBPR["Paris_(mythology)"], "Paris (mythology)",
+                     0.7, "dbpedia"),
+                make(geonames_uri(2988507), "Paris", 0.95, "geonames"),
+            ],
+        )
+        assert outcome.annotated
+        assert outcome.chosen.resource == geonames_uri(2988507)
+
+    def test_no_candidates(self, semantic_filter):
+        outcome = semantic_filter.filter_word("x", [])
+        assert outcome.reason is Reason.NO_CANDIDATES

@@ -1,0 +1,193 @@
+"""Tests for the synthetic LOD corpus."""
+
+import pytest
+
+from repro.lod import (
+    CITIES,
+    POIS,
+    build_dbpedia,
+    build_geonames,
+    build_linkedgeodata,
+    build_lod_corpus,
+    follow_redirect,
+    geonames_uri,
+    is_disambiguation_page,
+    nearest_city_feature,
+)
+from repro.rdf import (
+    DBPO,
+    DBPR,
+    GEO,
+    GN,
+    LGDO,
+    LGDP,
+    Literal,
+    OWL,
+    RDF,
+    RDFS,
+    URIRef,
+)
+from repro.sparql import Evaluator, Point, parse_point
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_lod_corpus()
+
+
+class TestDBpedia:
+    def test_cities_typed(self, corpus):
+        assert (DBPR.Turin, RDF.type, DBPO.City) in corpus.dbpedia
+        assert (DBPR.Turin, RDF.type, DBPO.Place) in corpus.dbpedia
+
+    def test_multilingual_labels(self, corpus):
+        labels = set(corpus.dbpedia.objects(DBPR.Turin, RDFS.label))
+        assert Literal("Turin", lang="en") in labels
+        assert Literal("Torino", lang="it") in labels
+
+    def test_abstracts(self, corpus):
+        abstracts = list(corpus.dbpedia.objects(DBPR.Turin, DBPO.abstract))
+        assert any(a.lang == "it" for a in abstracts)
+
+    def test_geometry_parseable(self, corpus):
+        geometry = corpus.dbpedia.value(DBPR.Mole_Antonelliana,
+                                        GEO.geometry)
+        point = parse_point(geometry)
+        assert point.latitude == pytest.approx(45.0692)
+
+    def test_poi_located_in_city(self, corpus):
+        assert (
+            DBPR.Mole_Antonelliana, DBPO.location, DBPR.Turin
+        ) in corpus.dbpedia
+
+    def test_commercial_pois_not_in_dbpedia(self, corpus):
+        assert not corpus.dbpedia.resource_exists(
+            DBPR.Ristorante_Del_Cambio
+        )
+
+    def test_redirect_followed(self, corpus):
+        assert follow_redirect(
+            corpus.dbpedia, DBPR.Coliseum
+        ) == DBPR.Colosseum
+
+    def test_redirect_chain_and_identity(self, corpus):
+        assert follow_redirect(
+            corpus.dbpedia, DBPR.Colosseum
+        ) == DBPR.Colosseum
+
+    def test_disambiguation_detection(self, corpus):
+        assert is_disambiguation_page(
+            corpus.dbpedia, DBPR["Paris_(disambiguation)"]
+        )
+        assert not is_disambiguation_page(corpus.dbpedia, DBPR.Paris)
+
+    def test_people_present(self, corpus):
+        assert (
+            DBPR.Alessandro_Antonelli, RDF.type, DBPO.Person
+        ) in corpus.dbpedia
+
+    def test_sparql_label_lookup(self, corpus):
+        evaluator = Evaluator(corpus.dbpedia)
+        result = evaluator.evaluate(
+            'SELECT ?r WHERE { ?r rdfs:label "Mole Antonelliana"@it }'
+        )
+        assert result.first("r") == DBPR.Mole_Antonelliana
+
+
+class TestGeonames:
+    def test_all_cities_present(self, corpus):
+        for city in CITIES:
+            assert corpus.geonames.resource_exists(
+                geonames_uri(city.geonames_id)
+            )
+
+    def test_feature_structure(self, corpus):
+        turin = geonames_uri(3165524)
+        assert (turin, RDF.type, GN.Feature) in corpus.geonames
+        assert corpus.geonames.value(turin, GN.name) == Literal("Turin")
+        assert (
+            corpus.geonames.value(turin, GN.countryCode) == Literal("IT")
+        )
+
+    def test_sameas_dbpedia(self, corpus):
+        turin = geonames_uri(3165524)
+        assert (turin, OWL.sameAs, DBPR.Turin) in corpus.geonames
+
+    def test_nearest_city_feature(self, corpus):
+        near_mole = Point(7.6934, 45.0692)
+        assert nearest_city_feature(
+            corpus.geonames, near_mole
+        ) == geonames_uri(3165524)
+
+    def test_nearest_city_feature_rome(self, corpus):
+        assert nearest_city_feature(
+            corpus.geonames, Point(12.49, 41.89)
+        ) == geonames_uri(3169070)
+
+
+class TestLinkedGeoData:
+    def test_city_nodes_typed(self, corpus):
+        result = Evaluator(corpus.linkedgeodata).evaluate(
+            "SELECT ?c WHERE { ?c a lgdo:City }"
+        )
+        assert len(result) == len(CITIES)
+
+    def test_restaurants_have_websites(self, corpus):
+        result = Evaluator(corpus.linkedgeodata).evaluate(
+            """SELECT ?r ?w WHERE {
+                 ?r a lgdo:Restaurant .
+                 ?r <http://linkedgeodata.org/property/website> ?w .
+               }"""
+        )
+        assert len(result) >= 4
+
+    def test_tourism_typing(self, corpus):
+        result = Evaluator(corpus.linkedgeodata).evaluate(
+            "SELECT ?t WHERE { ?t a lgdo:Tourism }"
+        )
+        tourism_count = sum(
+            1 for p in POIS
+            if p.category in ("monument", "museum", "church", "park",
+                              "fountain", "stadium")
+        )
+        assert len(result) == tourism_count
+
+    def test_label_join_with_dbpedia(self, corpus):
+        # the mashup's first branch joins lgdo:City to dbpo:Place by label
+        union = corpus.union()
+        result = Evaluator(union).evaluate(
+            """SELECT DISTINCT ?desc WHERE {
+                 ?city a lgdo:City .
+                 ?city rdfs:label ?lbl .
+                 ?others rdfs:label ?lbl .
+                 ?others dbpo:abstract ?desc .
+                 ?others a dbpo:Place .
+                 FILTER langMatches(lang(?desc), 'it') .
+                 FILTER (?lbl = "Torino"@it) .
+               }"""
+        )
+        assert len(result) == 1
+
+
+class TestCorpus:
+    def test_union_contains_all(self, corpus):
+        union = corpus.union()
+        assert len(union) == (
+            len(corpus.dbpedia) + len(corpus.geonames)
+            + len(corpus.linkedgeodata)
+        )
+
+    def test_as_dataset_named_graphs(self, corpus):
+        ds = corpus.as_dataset()
+        assert "http://dbpedia.org" in ds
+        assert "http://sws.geonames.org" in ds
+        assert "http://linkedgeodata.org" in ds
+
+    def test_cached_instance_reused(self):
+        assert build_lod_corpus() is build_lod_corpus()
+        assert build_lod_corpus(cached=False) is not build_lod_corpus()
+
+    def test_deterministic(self):
+        a = build_lod_corpus(cached=False)
+        b = build_lod_corpus(cached=False)
+        assert set(a.dbpedia.triples()) == set(b.dbpedia.triples())

@@ -1,0 +1,207 @@
+"""Client-side pieces: deferred uploads, cross-posting, debouncer, feeds."""
+
+import pytest
+
+from repro.platform import (
+    Capture,
+    ContentItem,
+    Debouncer,
+    DeferredUploadQueue,
+    MediaType,
+    Platform,
+    TagAlbum,
+    context_filtered_feed,
+    default_crossposter,
+    render_atom_feed,
+)
+from repro.sparql import Point
+
+MOLE = Point(7.6934, 45.0692)
+
+
+def _capture(ts, title="t", username="walter"):
+    return Capture(
+        username=username, title=title, tags=(), timestamp=ts, point=MOLE
+    )
+
+
+class TestDeferredUploads:
+    def test_online_uploads_immediately(self):
+        queue = DeferredUploadQueue()
+        delivered = []
+        queue.capture(_capture(1), upload=delivered.append)
+        assert len(delivered) == 1
+        assert len(queue) == 0
+
+    def test_offline_buffers(self):
+        queue = DeferredUploadQueue()
+        queue.go_offline()
+        delivered = []
+        queue.capture(_capture(2), upload=delivered.append)
+        queue.capture(_capture(1), upload=delivered.append)
+        assert delivered == []
+        assert len(queue) == 2
+
+    def test_flush_in_capture_order(self):
+        queue = DeferredUploadQueue()
+        queue.go_offline()
+        queue.capture(_capture(200))
+        queue.capture(_capture(100))
+        queue.go_online()
+        delivered = []
+        queue.flush(lambda c: delivered.append(c.timestamp))
+        assert delivered == [100, 200]
+        assert len(queue) == 0
+
+    def test_flush_while_offline_rejected(self):
+        queue = DeferredUploadQueue()
+        queue.go_offline()
+        with pytest.raises(RuntimeError):
+            queue.flush(lambda c: c)
+
+    def test_deferred_upload_context_uses_capture_time(self):
+        """The crucial §1.1 property: context is bound to *creation*
+        time, not upload time."""
+        platform = Platform()
+        platform.register_user("walter", "Walter Goix")
+        # walter was at the Mole at t=1000, then moved far away
+        platform.context.report_position("walter", 1000, MOLE)
+        platform.context.report_position(
+            "walter", 5000, Point(12.4964, 41.9028)
+        )
+        queue = DeferredUploadQueue()
+        queue.go_offline()
+        queue.capture(Capture(
+            username="walter", title="Mole", tags=(), timestamp=1000,
+        ))
+        queue.go_online()
+        items = queue.flush(platform.upload)
+        assert any(
+            "address:city=Turin" in t for t in items[0].context_tags
+        ), "context must reflect Turin (capture time), not Rome (upload)"
+
+
+class TestCrossPosting:
+    def _item(self, title="Tramonto", media_type=MediaType.PHOTO):
+        return ContentItem(
+            pid=1, owner="walter", title=title,
+            plain_tags=["mole"], context_tags=[],
+            timestamp=1, media_type=media_type,
+            media_url="http://cdn/x.jpg",
+        )
+
+    def test_all_networks(self):
+        poster = default_crossposter()
+        posts = poster.post(self._item())
+        assert {p.network for p in posts} == {
+            "facebook", "twitter", "flickr",
+        }
+
+    def test_selected_networks(self):
+        poster = default_crossposter()
+        posts = poster.post(self._item(), networks=["twitter"])
+        assert [p.network for p in posts] == ["twitter"]
+
+    def test_twitter_truncation(self):
+        poster = default_crossposter()
+        posts = poster.post(
+            self._item(title="x" * 300), networks=["twitter"]
+        )
+        assert len(posts[0].text) <= 140
+
+    def test_flickr_skips_video(self):
+        poster = default_crossposter()
+        posts = poster.post(
+            self._item(media_type=MediaType.VIDEO),
+            networks=["flickr"],
+        )
+        assert posts == []
+
+    def test_unknown_network(self):
+        poster = default_crossposter()
+        with pytest.raises(KeyError):
+            poster.post(self._item(), networks=["myspace"])
+
+    def test_sink_records_history(self):
+        poster = default_crossposter()
+        poster.post(self._item())
+        assert len(poster.sink("facebook").posts) == 1
+
+
+class TestDebouncer:
+    def test_fires_after_interval(self):
+        debouncer = Debouncer()
+        assert debouncer.keystroke("t", 0.0) is None
+        assert debouncer.keystroke("tu", 0.5) is None
+        assert debouncer.poll(1.0) is None
+        assert debouncer.poll(2.6) == "tu"
+
+    def test_typing_resets_timer(self):
+        debouncer = Debouncer()
+        debouncer.keystroke("t", 0.0)
+        debouncer.keystroke("tu", 1.9)  # before the 2s deadline
+        assert debouncer.poll(3.0) is None  # only 1.1s since last
+        assert debouncer.poll(3.9) == "tu"
+
+    def test_keystroke_fires_pending(self):
+        debouncer = Debouncer()
+        debouncer.keystroke("turin", 0.0)
+        fired = debouncer.keystroke("turin c", 5.0)
+        assert fired == "turin"
+
+    def test_fired_history(self):
+        debouncer = Debouncer()
+        debouncer.keystroke("a", 0.0)
+        debouncer.poll(3.0)
+        assert debouncer.fired == ["a"]
+
+    def test_no_fire_on_empty(self):
+        debouncer = Debouncer()
+        assert debouncer.poll(10.0) is None
+
+
+class TestFeeds:
+    def _items(self):
+        return [
+            ContentItem(
+                pid=1, owner="walter", title="Mole <at night>",
+                plain_tags=["mole"],
+                context_tags=["place:is=crowded"],
+                timestamp=1325376000, media_type=MediaType.PHOTO,
+                media_url="http://cdn/1.jpg",
+            ),
+            ContentItem(
+                pid=2, owner="carmen", title="Quiet square",
+                plain_tags=["piazza"],
+                context_tags=["place:is=quiet"],
+                timestamp=1325376100, media_type=MediaType.PHOTO,
+                media_url="http://cdn/2.jpg",
+            ),
+        ]
+
+    def test_atom_structure(self):
+        feed = render_atom_feed(self._items(), "All content")
+        assert feed.startswith('<?xml version="1.0"')
+        assert "<feed xmlns=\"http://www.w3.org/2005/Atom\">" in feed
+        assert feed.count("<entry>") == 2
+
+    def test_xml_escaping(self):
+        feed = render_atom_feed(self._items(), "t")
+        assert "Mole &lt;at night&gt;" in feed
+
+    def test_timestamps_rfc3339(self):
+        feed = render_atom_feed(self._items(), "t")
+        assert "2012-01-01T00:00:00Z" in feed
+
+    def test_context_filtered(self):
+        feed = context_filtered_feed(
+            self._items(),
+            TagAlbum(namespace="place", predicate="is", value="crowded"),
+            "Crowded places",
+        )
+        assert feed.count("<entry>") == 1
+        assert "Mole" in feed
+
+    def test_categories_included(self):
+        feed = render_atom_feed(self._items(), "t")
+        assert '<category term="mole"/>' in feed

@@ -1,0 +1,89 @@
+"""OpenID-style sign-in flow tests."""
+
+import pytest
+
+from repro.platform import (
+    OpenIdError,
+    OpenIdProvider,
+    RelyingParty,
+    normalize_identifier,
+)
+
+
+@pytest.fixture
+def world():
+    provider_a = OpenIdProvider("https://openid.example.org")
+    provider_a.register_identity("https://openid.example.org/oscar")
+    provider_b = OpenIdProvider("https://id.other.net")
+    provider_b.register_identity("https://id.other.net/walter")
+    rp = RelyingParty()
+    rp.add_provider(provider_a)
+    rp.add_provider(provider_b)
+    return rp, provider_a, provider_b
+
+
+class TestNormalization:
+    def test_scheme_added(self):
+        assert normalize_identifier("example.org/me") == \
+            "http://example.org/me"
+
+    def test_fragment_dropped(self):
+        assert normalize_identifier("http://example.org/me#frag") == \
+            "http://example.org/me"
+
+    def test_trailing_slash_trimmed(self):
+        assert normalize_identifier("http://example.org/me/") == \
+            "http://example.org/me"
+
+    def test_host_lowercased(self):
+        assert normalize_identifier("http://Example.ORG/Me") == \
+            "http://example.org/Me"
+
+    def test_empty_rejected(self):
+        with pytest.raises(OpenIdError):
+            normalize_identifier("   ")
+
+
+class TestFlow:
+    def test_happy_path(self, world):
+        rp, _, _ = world
+        assert rp.authenticate("https://openid.example.org/oscar") == \
+            "https://openid.example.org/oscar"
+
+    def test_any_provider(self, world):
+        # "their OpenID accounts of any OpenID provider"
+        rp, _, _ = world
+        assert rp.authenticate("https://id.other.net/walter")
+
+    def test_unknown_identity(self, world):
+        rp, _, _ = world
+        with pytest.raises(OpenIdError):
+            rp.authenticate("https://openid.example.org/nobody")
+
+    def test_replay_rejected(self, world):
+        rp, provider, _ = world
+        claimed = "https://openid.example.org/oscar"
+        handle = rp.begin(claimed)
+        assertion = provider.assert_identity(claimed, handle)
+        assert rp.complete(assertion) == claimed
+        with pytest.raises(OpenIdError):
+            rp.complete(assertion)  # handle already consumed
+
+    def test_forged_signature_rejected(self, world):
+        from repro.platform import Assertion
+
+        rp, provider, _ = world
+        claimed = "https://openid.example.org/oscar"
+        handle = rp.begin(claimed)
+        forged = Assertion(claimed, handle, "deadbeef")
+        with pytest.raises(OpenIdError):
+            rp.complete(forged)
+
+    def test_swapped_identity_rejected(self, world):
+        rp, provider_a, provider_b = world
+        handle = rp.begin("https://openid.example.org/oscar")
+        other = provider_b.assert_identity(
+            "https://id.other.net/walter", handle
+        )
+        with pytest.raises(OpenIdError):
+            rp.complete(other)

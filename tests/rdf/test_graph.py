@@ -1,0 +1,240 @@
+"""Unit and property tests for the indexed triple store."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf import (
+    FOAF,
+    Graph,
+    Dataset,
+    Literal,
+    RDF,
+    RDFS,
+    SIOCT,
+    URIRef,
+)
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return URIRef(EX + name)
+
+
+@pytest.fixture
+def small_graph():
+    g = Graph()
+    g.add((ex("alice"), FOAF.name, Literal("Alice")))
+    g.add((ex("alice"), FOAF.knows, ex("bob")))
+    g.add((ex("bob"), FOAF.name, Literal("Bob")))
+    g.add((ex("bob"), RDF.type, FOAF.Person))
+    g.add((ex("alice"), RDF.type, FOAF.Person))
+    return g
+
+
+class TestMutation:
+    def test_add_and_len(self, small_graph):
+        assert len(small_graph) == 5
+
+    def test_duplicate_add_is_noop(self, small_graph):
+        small_graph.add((ex("alice"), FOAF.name, Literal("Alice")))
+        assert len(small_graph) == 5
+
+    def test_string_values_coerced(self):
+        g = Graph()
+        g.add((EX + "s", EX + "p", "object text"))
+        s, p, o = next(iter(g))
+        assert isinstance(s, URIRef)
+        assert isinstance(o, Literal)
+
+    def test_remove_exact(self, small_graph):
+        removed = small_graph.remove((ex("alice"), FOAF.knows, ex("bob")))
+        assert removed == 1
+        assert len(small_graph) == 4
+
+    def test_remove_wildcard(self, small_graph):
+        removed = small_graph.remove((ex("alice"), None, None))
+        assert removed == 3
+        assert len(small_graph) == 2
+
+    def test_remove_nonexistent(self, small_graph):
+        assert small_graph.remove((ex("zed"), None, None)) == 0
+        assert len(small_graph) == 5
+
+    def test_clear(self, small_graph):
+        small_graph.clear()
+        assert len(small_graph) == 0
+        assert list(small_graph) == []
+
+    def test_remove_keeps_indexes_consistent(self, small_graph):
+        small_graph.remove((None, FOAF.name, None))
+        # after removal both index directions must agree
+        assert list(small_graph.triples((None, FOAF.name, None))) == []
+        assert not any(
+            p == FOAF.name for _, p, _ in small_graph.triples()
+        )
+
+    def test_predicate_must_be_uri(self):
+        g = Graph()
+        from repro.rdf import BNode
+
+        with pytest.raises(TypeError):
+            g.add((ex("s"), BNode(), ex("o")))
+
+
+class TestPatternMatching:
+    def test_fully_bound_hit(self, small_graph):
+        triples = list(
+            small_graph.triples((ex("bob"), FOAF.name, Literal("Bob")))
+        )
+        assert len(triples) == 1
+
+    def test_fully_bound_miss(self, small_graph):
+        assert (
+            list(small_graph.triples((ex("bob"), FOAF.name, Literal("X"))))
+            == []
+        )
+
+    def test_s_bound(self, small_graph):
+        assert len(list(small_graph.triples((ex("alice"), None, None)))) == 3
+
+    def test_p_bound(self, small_graph):
+        assert len(list(small_graph.triples((None, FOAF.name, None)))) == 2
+
+    def test_o_bound(self, small_graph):
+        assert len(list(small_graph.triples((None, None, FOAF.Person)))) == 2
+
+    def test_sp_bound(self, small_graph):
+        assert (
+            len(list(small_graph.triples((ex("alice"), RDF.type, None)))) == 1
+        )
+
+    def test_po_bound(self, small_graph):
+        matches = list(small_graph.triples((None, RDF.type, FOAF.Person)))
+        assert {s for s, _, _ in matches} == {ex("alice"), ex("bob")}
+
+    def test_so_bound(self, small_graph):
+        matches = list(small_graph.triples((ex("alice"), None, ex("bob"))))
+        assert matches == [(ex("alice"), FOAF.knows, ex("bob"))]
+
+    def test_contains_with_wildcard(self, small_graph):
+        assert (ex("alice"), None, None) in small_graph
+        assert (ex("zed"), None, None) not in small_graph
+
+    def test_count(self, small_graph):
+        assert small_graph.count() == 5
+        assert small_graph.count((None, RDF.type, None)) == 2
+
+
+class TestAccessors:
+    def test_subjects_deduplicated(self, small_graph):
+        assert len(list(small_graph.subjects(RDF.type, FOAF.Person))) == 2
+
+    def test_objects(self, small_graph):
+        objs = set(small_graph.objects(ex("alice"), FOAF.knows))
+        assert objs == {ex("bob")}
+
+    def test_predicates(self, small_graph):
+        preds = set(small_graph.predicates(ex("alice")))
+        assert preds == {FOAF.name, FOAF.knows, RDF.type}
+
+    def test_value_found(self, small_graph):
+        assert small_graph.value(ex("bob"), FOAF.name) == Literal("Bob")
+
+    def test_value_default(self, small_graph):
+        assert small_graph.value(ex("bob"), FOAF.nick, default="?") == "?"
+
+    def test_value_requires_two_bound(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.value(ex("bob"))
+
+    def test_label_language_preference(self):
+        g = Graph()
+        g.add((ex("mole"), RDFS.label, Literal("Mole Antonelliana", lang="it")))
+        g.add((ex("mole"), RDFS.label, Literal("Mole Antonelliana Tower", lang="en")))
+        label = g.label(ex("mole"), lang="en")
+        assert label.lang == "en"
+
+    def test_label_fallback_any(self):
+        g = Graph()
+        g.add((ex("x"), RDFS.label, Literal("solo", lang="fr")))
+        assert g.label(ex("x"), lang="en") == Literal("solo", lang="fr")
+
+    def test_types(self, small_graph):
+        assert small_graph.types(ex("bob")) == {FOAF.Person}
+
+    def test_resource_exists(self, small_graph):
+        assert small_graph.resource_exists(ex("alice"))
+        assert not small_graph.resource_exists(ex("nobody"))
+
+    def test_copy_independent(self, small_graph):
+        dup = small_graph.copy()
+        dup.add((ex("new"), FOAF.name, Literal("New")))
+        assert len(dup) == len(small_graph) + 1
+
+
+class TestDataset:
+    def test_named_graph_created_on_demand(self):
+        ds = Dataset()
+        g = ds.graph("urn:graph:dbpedia")
+        assert "urn:graph:dbpedia" in ds
+        assert g is ds.graph("urn:graph:dbpedia")
+
+    def test_union_graph_merges(self):
+        ds = Dataset()
+        ds.default.add((ex("a"), FOAF.name, Literal("A")))
+        ds.graph("urn:g1").add((ex("b"), FOAF.name, Literal("B")))
+        ds.graph("urn:g2").add((ex("c"), FOAF.name, Literal("C")))
+        assert len(ds.union_graph()) == 3
+        assert len(ds) == 3
+
+    def test_union_deduplicates(self):
+        ds = Dataset()
+        triple = (ex("a"), FOAF.name, Literal("A"))
+        ds.default.add(triple)
+        ds.graph("urn:g1").add(triple)
+        assert len(ds.union_graph()) == 1
+
+    def test_remove_graph(self):
+        ds = Dataset()
+        ds.graph("urn:g1").add((ex("a"), FOAF.name, Literal("A")))
+        assert ds.remove_graph("urn:g1")
+        assert not ds.remove_graph("urn:g1")
+        assert len(ds) == 0
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests on index consistency
+# ---------------------------------------------------------------------------
+
+_uris = st.sampled_from([ex(n) for n in "abcdefgh"])
+_triples = st.tuples(_uris, _uris, _uris)
+
+
+@given(st.lists(_triples, max_size=60))
+def test_size_matches_distinct_triples(triples):
+    g = Graph()
+    g.add_all(triples)
+    assert len(g) == len(set(triples))
+
+
+@given(st.lists(_triples, max_size=40), st.lists(_triples, max_size=40))
+def test_remove_then_query_consistent(to_add, to_remove):
+    g = Graph()
+    g.add_all(to_add)
+    for t in to_remove:
+        g.remove(t)
+    expected = set(to_add) - set(to_remove)
+    assert set(g.triples()) == expected
+    assert len(g) == len(expected)
+
+
+@given(st.lists(_triples, min_size=1, max_size=50))
+def test_every_access_path_agrees(triples):
+    g = Graph()
+    g.add_all(triples)
+    for s, p, o in set(triples):
+        assert (s, p, o) in g
+        assert o in set(g.objects(s, p))
+        assert s in set(g.subjects(p, o))
+        assert p in set(g.predicates(s, o))

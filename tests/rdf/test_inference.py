@@ -1,0 +1,143 @@
+"""RDFS inference tests."""
+
+import pytest
+
+from repro.lod import build_lod_corpus, build_ontology
+from repro.rdf import (
+    DBPO,
+    DBPR,
+    FOAF,
+    Graph,
+    LGDO,
+    Literal,
+    RDF,
+    RDFS,
+    URIRef,
+    entails,
+    rdfs_closure,
+)
+from repro.sparql import Evaluator
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return URIRef(EX + name)
+
+
+class TestClosureRules:
+    def test_rdfs9_type_inheritance(self):
+        g = Graph()
+        g.add((ex("City"), RDFS.subClassOf, ex("Place")))
+        g.add((ex("turin"), RDF.type, ex("City")))
+        added = rdfs_closure(g)
+        assert (ex("turin"), RDF.type, ex("Place")) in g
+        assert added == 1
+
+    def test_rdfs11_subclass_transitivity(self):
+        g = Graph()
+        g.add((ex("A"), RDFS.subClassOf, ex("B")))
+        g.add((ex("B"), RDFS.subClassOf, ex("C")))
+        g.add((ex("x"), RDF.type, ex("A")))
+        rdfs_closure(g)
+        assert (ex("x"), RDF.type, ex("C")) in g
+
+    def test_rdfs7_property_inheritance(self):
+        g = Graph()
+        g.add((ex("bestFriend"), RDFS.subPropertyOf, FOAF.knows))
+        g.add((ex("a"), ex("bestFriend"), ex("b")))
+        rdfs_closure(g)
+        assert (ex("a"), FOAF.knows, ex("b")) in g
+
+    def test_rdfs5_subproperty_transitivity(self):
+        g = Graph()
+        g.add((ex("p"), RDFS.subPropertyOf, ex("q")))
+        g.add((ex("q"), RDFS.subPropertyOf, ex("r")))
+        g.add((ex("a"), ex("p"), ex("b")))
+        rdfs_closure(g)
+        assert (ex("a"), ex("r"), ex("b")) in g
+
+    def test_rdfs2_domain(self):
+        g = Graph()
+        g.add((FOAF.knows, RDFS.domain, FOAF.Person))
+        g.add((ex("a"), FOAF.knows, ex("b")))
+        rdfs_closure(g)
+        assert (ex("a"), RDF.type, FOAF.Person) in g
+
+    def test_rdfs3_range_skips_literals(self):
+        g = Graph()
+        g.add((ex("p"), RDFS.range, ex("C")))
+        g.add((ex("a"), ex("p"), ex("b")))
+        g.add((ex("a"), ex("p"), Literal("text")))
+        rdfs_closure(g)
+        assert (ex("b"), RDF.type, ex("C")) in g
+        assert (Literal("text"), RDF.type, ex("C")) not in g
+
+    def test_external_schema(self):
+        schema = Graph()
+        schema.add((ex("City"), RDFS.subClassOf, ex("Place")))
+        data = Graph()
+        data.add((ex("turin"), RDF.type, ex("City")))
+        rdfs_closure(data, schema)
+        assert (ex("turin"), RDF.type, ex("Place")) in data
+
+    def test_fixed_point_idempotent(self):
+        g = Graph()
+        g.add((ex("A"), RDFS.subClassOf, ex("B")))
+        g.add((ex("x"), RDF.type, ex("A")))
+        rdfs_closure(g)
+        assert rdfs_closure(g) == 0
+
+    def test_cycle_terminates(self):
+        g = Graph()
+        g.add((ex("A"), RDFS.subClassOf, ex("B")))
+        g.add((ex("B"), RDFS.subClassOf, ex("A")))
+        g.add((ex("x"), RDF.type, ex("A")))
+        rdfs_closure(g)
+        assert (ex("x"), RDF.type, ex("B")) in g
+
+    def test_entails_nondestructive(self):
+        g = Graph()
+        g.add((ex("City"), RDFS.subClassOf, ex("Place")))
+        g.add((ex("turin"), RDF.type, ex("City")))
+        before = len(g)
+        assert entails(g, (ex("turin"), RDF.type, ex("Place")))
+        assert not entails(g, (ex("turin"), RDF.type, ex("Galaxy")))
+        assert len(g) == before
+
+
+class TestOntologyOverCorpus:
+    def test_inference_backed_album_query(self):
+        """The §2.3 claim: queries can rely on inference. Strip the
+        redundant dbpo:Place typing, infer it back via the ontology."""
+        corpus = build_lod_corpus(cached=False)
+        corpus.dbpedia.remove((None, RDF.type, DBPO.Place))
+        evaluator = Evaluator(corpus.dbpedia)
+        result = evaluator.evaluate(
+            "SELECT ?p WHERE { ?p a dbpo:Place }"
+        )
+        assert len(result) == 0
+
+        rdfs_closure(corpus.dbpedia, build_ontology())
+        result = Evaluator(corpus.dbpedia).evaluate(
+            "SELECT ?p WHERE { ?p a dbpo:Place }"
+        )
+        assert DBPR.Turin in {r["p"] for r in result}
+        assert DBPR.Mole_Antonelliana in {r["p"] for r in result}
+
+    def test_lgdo_tourism_inferred(self):
+        corpus = build_lod_corpus(cached=False)
+        corpus.linkedgeodata.remove((None, RDF.type, LGDO.Tourism))
+        rdfs_closure(corpus.linkedgeodata, build_ontology())
+        result = Evaluator(corpus.linkedgeodata).evaluate(
+            "SELECT ?t WHERE { ?t a lgdo:Tourism }"
+        )
+        assert len(result) > 0
+
+    def test_birthplace_domain_range(self):
+        schema = build_ontology()
+        g = Graph()
+        g.add((DBPR.Giuseppe_Verdi, DBPO.birthPlace, DBPR.Milan))
+        rdfs_closure(g, schema)
+        assert (DBPR.Giuseppe_Verdi, RDF.type, DBPO.Person) in g
+        assert (DBPR.Milan, RDF.type, DBPO.Place) in g

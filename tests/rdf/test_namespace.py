@@ -1,0 +1,95 @@
+"""Tests for namespaces and the prefix manager."""
+
+import pytest
+
+from repro.rdf import (
+    DBPO,
+    FOAF,
+    GEO,
+    Namespace,
+    NamespaceManager,
+    RDFS,
+    SIOCT,
+    URIRef,
+)
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        assert FOAF.name == URIRef("http://xmlns.com/foaf/0.1/name")
+
+    def test_item_access(self):
+        assert FOAF["maker"] == URIRef("http://xmlns.com/foaf/0.1/maker")
+
+    def test_integer_index_still_works(self):
+        # Namespace subclasses str; numeric indexing must be preserved.
+        assert Namespace("abc")[0] == "a"
+
+    def test_contains_uri(self):
+        assert str(FOAF.name) in FOAF
+        assert "http://other.org/x" not in FOAF
+
+    def test_paper_vocabularies(self):
+        assert SIOCT.MicroblogPost == URIRef(
+            "http://rdfs.org/sioc/types#MicroblogPost"
+        )
+        assert GEO.geometry == URIRef(
+            "http://www.w3.org/2003/01/geo/wgs84_pos#geometry"
+        )
+        assert DBPO.Place == URIRef("http://dbpedia.org/ontology/Place")
+
+
+class TestNamespaceManager:
+    def test_defaults_bound(self):
+        nsm = NamespaceManager()
+        assert nsm.expand("foaf:knows") == FOAF.knows
+        assert nsm.expand("rdfs:label") == RDFS.label
+
+    def test_expand_unknown_prefix(self):
+        nsm = NamespaceManager()
+        with pytest.raises(KeyError):
+            nsm.expand("nope:x")
+
+    def test_bind_and_expand(self):
+        nsm = NamespaceManager(bind_defaults=False)
+        nsm.bind("ex", "http://example.org/")
+        assert nsm.expand("ex:a") == URIRef("http://example.org/a")
+
+    def test_compact_prefers_longest_namespace(self):
+        nsm = NamespaceManager(bind_defaults=False)
+        nsm.bind("a", "http://example.org/")
+        nsm.bind("b", "http://example.org/deep/")
+        assert nsm.compact("http://example.org/deep/x") == "b:x"
+
+    def test_compact_refuses_slashy_local(self):
+        nsm = NamespaceManager(bind_defaults=False)
+        nsm.bind("ex", "http://example.org/")
+        assert nsm.compact("http://example.org/a/b") is None
+
+    def test_compact_unknown(self):
+        nsm = NamespaceManager(bind_defaults=False)
+        assert nsm.compact("http://nowhere/x") is None
+
+    def test_rebind_replaces(self):
+        nsm = NamespaceManager(bind_defaults=False)
+        nsm.bind("ex", "http://one/")
+        nsm.bind("ex", "http://two/")
+        assert nsm.expand("ex:a") == URIRef("http://two/a")
+        assert nsm.compact("http://one/a") is None
+
+    def test_bind_no_replace(self):
+        nsm = NamespaceManager(bind_defaults=False)
+        nsm.bind("ex", "http://one/")
+        nsm.bind("ex", "http://two/", replace=False)
+        assert nsm.expand("ex:a") == URIRef("http://one/a")
+
+    def test_iteration_sorted(self):
+        nsm = NamespaceManager(bind_defaults=False)
+        nsm.bind("z", "http://z/")
+        nsm.bind("a", "http://a/")
+        assert [p for p, _ in nsm] == ["a", "z"]
+
+    def test_contains(self):
+        nsm = NamespaceManager()
+        assert "foaf" in nsm
+        assert "nope" not in nsm

@@ -1,0 +1,152 @@
+"""N-Quads and dataset persistence tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf import (
+    Dataset,
+    FOAF,
+    Literal,
+    RDFS,
+    URIRef,
+    load_dataset,
+    load_nquads,
+    parse_nquads,
+    save_dataset,
+    serialize_nquads,
+)
+from repro.rdf.nquads import parse_nquads_line
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return URIRef(EX + name)
+
+
+def sample_dataset():
+    ds = Dataset()
+    ds.default.add((ex("a"), FOAF.name, Literal("Default A")))
+    g1 = ds.graph("http://graphs/one")
+    g1.add((ex("b"), FOAF.name, Literal("Named B", lang="en")))
+    g1.add((ex("b"), FOAF.age, Literal(30)))
+    g2 = ds.graph("http://graphs/two")
+    g2.add((ex("c"), FOAF.knows, ex("b")))
+    g2.add((ex("c"), RDFS.label, Literal('with "quotes" and <angles>')))
+    return ds
+
+
+class TestParseLine:
+    def test_triple_without_graph(self):
+        s, p, o, g = parse_nquads_line(
+            '<http://x/s> <http://x/p> "lit" .'
+        )
+        assert g is None
+
+    def test_quad_with_graph(self):
+        s, p, o, g = parse_nquads_line(
+            "<http://x/s> <http://x/p> <http://x/o> <http://graphs/g> ."
+        )
+        assert g == URIRef("http://graphs/g")
+        assert o == URIRef("http://x/o")
+
+    def test_iri_object_no_graph(self):
+        s, p, o, g = parse_nquads_line(
+            "<http://x/s> <http://x/p> <http://x/o> ."
+        )
+        assert g is None
+        assert o == URIRef("http://x/o")
+
+    def test_literal_object_with_graph(self):
+        _, _, o, g = parse_nquads_line(
+            '<http://x/s> <http://x/p> "v"@it <http://graphs/g> .'
+        )
+        assert o == Literal("v", lang="it")
+        assert g == URIRef("http://graphs/g")
+
+    def test_angle_text_inside_literal(self):
+        _, _, o, g = parse_nquads_line(
+            '<http://x/s> <http://x/p> "see <http://x>" .'
+        )
+        assert g is None
+        assert o.lexical == "see <http://x>"
+
+    def test_comments_skipped(self):
+        quads = list(parse_nquads(
+            "# header\n<http://x/s> <http://x/p> <http://x/o> .\n"
+        ))
+        assert len(quads) == 1
+
+
+class TestRoundtrip:
+    def test_serialize_deterministic(self):
+        ds = sample_dataset()
+        assert serialize_nquads(ds) == serialize_nquads(sample_dataset())
+
+    def test_roundtrip_preserves_graph_assignment(self):
+        ds = sample_dataset()
+        restored = load_nquads(serialize_nquads(ds))
+        assert set(restored.default.triples()) == set(
+            ds.default.triples()
+        )
+        for identifier in ("http://graphs/one", "http://graphs/two"):
+            assert set(
+                restored.graph(identifier).triples()
+            ) == set(ds.graph(identifier).triples())
+
+    def test_save_load_file(self, tmp_path):
+        path = tmp_path / "store.nq"
+        save_dataset(sample_dataset(), path)
+        restored = load_dataset(path)
+        assert len(restored) == len(sample_dataset())
+
+    def test_empty_dataset(self):
+        assert serialize_nquads(Dataset()) == ""
+        assert len(load_nquads("")) == 0
+
+    def test_platform_store_persistence(self, tmp_path):
+        """The local-deployment scenario: persist the full triple store
+        (platform + LOD named graphs) and reload it queryable."""
+        from repro.platform import Capture, Platform
+        from repro.sparql import Evaluator, Point
+
+        platform = Platform()
+        platform.register_user("walter", "Walter Goix")
+        platform.upload(Capture(
+            username="walter", title="Mole", tags=(),
+            timestamp=1000, point=Point(7.6930, 45.0690),
+        ))
+        store = platform.triple_store()
+        path = tmp_path / "teamlife.nq"
+        save_dataset(store, path)
+
+        restored = load_dataset(path)
+        assert len(restored) == len(store)
+        result = Evaluator(restored).evaluate(
+            "SELECT ?p WHERE { ?p a sioct:MicroblogPost }"
+        )
+        assert len(result) == 1
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([ex(c) for c in "ab"]),
+            st.sampled_from([FOAF.name, RDFS.label]),
+            st.builds(Literal, st.text(max_size=15)),
+            st.sampled_from(
+                [None, URIRef("http://g/1"), URIRef("http://g/2")]
+            ),
+        ),
+        max_size=25,
+    )
+)
+def test_nquads_roundtrip_property(quads):
+    ds = Dataset()
+    for s, p, o, g in quads:
+        if g is None:
+            ds.default.add((s, p, o))
+        else:
+            ds.graph(g).add((s, p, o))
+    restored = load_nquads(serialize_nquads(ds))
+    assert serialize_nquads(restored) == serialize_nquads(ds)

@@ -1,0 +1,158 @@
+"""RDF/XML serialization and parsing tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf import (
+    BNode,
+    FOAF,
+    Graph,
+    Literal,
+    RDF,
+    RDFS,
+    RdfXmlError,
+    URIRef,
+    load_rdfxml,
+    parse_rdfxml,
+    serialize_rdfxml,
+)
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return URIRef(EX + name)
+
+
+def sample_graph():
+    g = Graph()
+    g.add((ex("alice"), RDF.type, FOAF.Person))
+    g.add((ex("alice"), FOAF.name, Literal("Alice")))
+    g.add((ex("alice"), FOAF.age, Literal(30)))
+    g.add((ex("mole"), RDFS.label, Literal("Mole Antonelliana",
+                                           lang="it")))
+    g.add((ex("alice"), FOAF.knows, BNode("b1")))
+    g.add((BNode("b1"), FOAF.name, Literal("Anonymous")))
+    g.add((ex("weird"), RDFS.label, Literal('<tag> & "quote"')))
+    return g
+
+
+class TestSerializer:
+    def test_structure(self):
+        text = serialize_rdfxml(sample_graph())
+        assert text.startswith('<?xml version="1.0"')
+        assert "<rdf:RDF" in text
+        assert 'rdf:about="http://example.org/alice"' in text
+        assert 'rdf:resource=' in text
+
+    def test_lang_attribute(self):
+        text = serialize_rdfxml(sample_graph())
+        assert 'xml:lang="it"' in text
+
+    def test_datatype_attribute(self):
+        text = serialize_rdfxml(sample_graph())
+        assert 'rdf:datatype="http://www.w3.org/2001/XMLSchema#integer"' \
+            in text
+
+    def test_xml_escaping(self):
+        text = serialize_rdfxml(sample_graph())
+        assert "&lt;tag&gt; &amp; &quot;quote&quot;" in text
+
+    def test_bnode_nodeid(self):
+        text = serialize_rdfxml(sample_graph())
+        assert 'rdf:nodeID="b1"' in text
+
+    def test_empty_graph(self):
+        text = serialize_rdfxml(Graph())
+        assert "<rdf:RDF" in text
+        load_rdfxml(text)  # parses cleanly
+
+    def test_unqnameable_predicate_rejected(self):
+        g = Graph()
+        g.add((ex("s"), URIRef("http://example.org/123bad"), ex("o")))
+        with pytest.raises(RdfXmlError):
+            serialize_rdfxml(g)
+
+
+class TestParser:
+    def test_roundtrip(self):
+        g = sample_graph()
+        g2 = load_rdfxml(serialize_rdfxml(g))
+        assert set(g2.triples()) == set(g.triples())
+
+    def test_typed_node_shorthand(self):
+        text = (
+            '<?xml version="1.0"?>'
+            '<rdf:RDF xmlns:rdf='
+            '"http://www.w3.org/1999/02/22-rdf-syntax-ns#" '
+            'xmlns:foaf="http://xmlns.com/foaf/0.1/">'
+            '<foaf:Person rdf:about="http://example.org/bob">'
+            "<foaf:name>Bob</foaf:name>"
+            "</foaf:Person></rdf:RDF>"
+        )
+        g = load_rdfxml(text)
+        assert (ex("bob"), RDF.type, FOAF.Person) in g
+        assert (ex("bob"), FOAF.name, Literal("Bob")) in g
+
+    def test_anonymous_description_gets_fresh_bnode(self):
+        text = (
+            '<?xml version="1.0"?>'
+            '<rdf:RDF xmlns:rdf='
+            '"http://www.w3.org/1999/02/22-rdf-syntax-ns#" '
+            'xmlns:foaf="http://xmlns.com/foaf/0.1/">'
+            "<rdf:Description><foaf:name>X</foaf:name>"
+            "</rdf:Description></rdf:RDF>"
+        )
+        g = load_rdfxml(text)
+        subjects = list(g.subjects())
+        assert len(subjects) == 1
+        assert isinstance(subjects[0], BNode)
+
+    def test_invalid_xml(self):
+        with pytest.raises(RdfXmlError):
+            load_rdfxml("<not closed")
+
+    def test_wrong_root(self):
+        with pytest.raises(RdfXmlError):
+            load_rdfxml("<foo/>")
+
+    def test_empty_literal(self):
+        text = (
+            '<?xml version="1.0"?>'
+            '<rdf:RDF xmlns:rdf='
+            '"http://www.w3.org/1999/02/22-rdf-syntax-ns#" '
+            'xmlns:foaf="http://xmlns.com/foaf/0.1/">'
+            '<rdf:Description rdf:about="http://example.org/a">'
+            "<foaf:name></foaf:name></rdf:Description></rdf:RDF>"
+        )
+        g = load_rdfxml(text)
+        assert g.value(ex("a"), FOAF.name) == Literal("")
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([ex(c) for c in "abc"]),
+            st.sampled_from([FOAF.name, FOAF.knows, RDFS.label]),
+            st.one_of(
+                st.sampled_from([ex(c) for c in "xyz"]),
+                st.builds(
+                    Literal,
+                    st.text(
+                        alphabet=st.characters(
+                            blacklist_categories=("Cs", "Cc"),
+                        ),
+                        max_size=20,
+                    ),
+                ),
+                st.builds(Literal, st.integers(-100, 100)),
+            ),
+        ),
+        max_size=20,
+    )
+)
+def test_rdfxml_roundtrip_property(triples):
+    g = Graph()
+    g.add_all(triples)
+    g2 = load_rdfxml(serialize_rdfxml(g))
+    assert set(g2.triples()) == set(g.triples())

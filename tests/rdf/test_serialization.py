@@ -1,0 +1,207 @@
+"""Tests for N-Triples and Turtle parsing/serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf import (
+    BNode,
+    FOAF,
+    Graph,
+    Literal,
+    NTriplesError,
+    RDF,
+    RDFS,
+    TurtleError,
+    URIRef,
+    load_ntriples,
+    load_turtle,
+    parse_ntriples,
+    serialize_ntriples,
+    serialize_triple,
+    serialize_turtle,
+)
+from repro.rdf.ntriples import parse_ntriples_line
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return URIRef(EX + name)
+
+
+class TestNTriplesParsing:
+    def test_simple_triple(self):
+        triple = parse_ntriples_line(
+            "<http://x/s> <http://x/p> <http://x/o> ."
+        )
+        assert triple == (URIRef("http://x/s"), URIRef("http://x/p"),
+                          URIRef("http://x/o"))
+
+    def test_plain_literal(self):
+        _, _, o = parse_ntriples_line('<http://x/s> <http://x/p> "hello" .')
+        assert o == Literal("hello")
+
+    def test_lang_literal(self):
+        _, _, o = parse_ntriples_line(
+            '<http://x/s> <http://x/p> "Mole Antonelliana"@it .'
+        )
+        assert o == Literal("Mole Antonelliana", lang="it")
+
+    def test_typed_literal(self):
+        _, _, o = parse_ntriples_line(
+            '<http://x/s> <http://x/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        assert o.value == 5
+
+    def test_bnode_subject_and_object(self):
+        s, _, o = parse_ntriples_line("_:a <http://x/p> _:b .")
+        assert s == BNode("a")
+        assert o == BNode("b")
+
+    def test_escaped_quote_in_literal(self):
+        _, _, o = parse_ntriples_line(
+            '<http://x/s> <http://x/p> "say \\"hi\\"" .'
+        )
+        assert o.lexical == 'say "hi"'
+
+    def test_comments_and_blank_lines_skipped(self):
+        doc = "\n# comment\n<http://x/s> <http://x/p> <http://x/o> .\n\n"
+        assert len(list(parse_ntriples(doc))) == 1
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(NTriplesError):
+            parse_ntriples_line("<http://x/s> <http://x/p> <http://x/o>")
+
+    def test_garbage_rejected_with_line_number(self):
+        with pytest.raises(NTriplesError) as err:
+            list(parse_ntriples("good line is not rdf"))
+        assert "line 1" in str(err.value)
+
+    def test_literal_as_subject_rejected(self):
+        with pytest.raises(NTriplesError):
+            parse_ntriples_line('"lit" <http://x/p> <http://x/o> .')
+
+    def test_trailing_comment_allowed(self):
+        triple = parse_ntriples_line(
+            "<http://x/s> <http://x/p> <http://x/o> . # trailing"
+        )
+        assert triple[0] == URIRef("http://x/s")
+
+
+class TestNTriplesRoundtrip:
+    def _graph(self):
+        g = Graph()
+        g.add((ex("alice"), FOAF.name, Literal("Alice Wonderland")))
+        g.add((ex("alice"), FOAF.age, Literal(30)))
+        g.add((ex("mole"), RDFS.label, Literal("Mole Antonelliana", lang="it")))
+        g.add((ex("alice"), FOAF.knows, BNode("someone")))
+        g.add((ex("weird"), RDFS.label, Literal('quote " and \n newline')))
+        return g
+
+    def test_roundtrip(self):
+        g = self._graph()
+        text = serialize_ntriples(g)
+        g2 = load_ntriples(text)
+        assert set(g2.triples()) == set(g.triples())
+
+    def test_serialization_deterministic(self):
+        g = self._graph()
+        assert serialize_ntriples(g) == serialize_ntriples(g.copy())
+
+    def test_serialize_triple_line(self):
+        line = serialize_triple((ex("s"), ex("p"), Literal("o")))
+        assert line == '<http://example.org/s> <http://example.org/p> "o" .'
+
+    def test_empty_graph_serializes_empty(self):
+        assert serialize_ntriples(Graph()) == ""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([ex(c) for c in "abc"]),
+                st.sampled_from([ex(c) for c in "pq"]),
+                st.one_of(
+                    st.sampled_from([ex(c) for c in "xyz"]),
+                    st.builds(
+                        Literal,
+                        st.text(min_size=0, max_size=20),
+                    ),
+                    st.builds(
+                        Literal,
+                        st.text(min_size=1, max_size=10),
+                        lang=st.sampled_from(["en", "it", "fr"]),
+                    ),
+                    st.builds(Literal, st.integers(-1000, 1000)),
+                ),
+            ),
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, triples):
+        g = Graph()
+        g.add_all(triples)
+        g2 = load_ntriples(serialize_ntriples(g))
+        assert set(g2.triples()) == set(g.triples())
+
+
+class TestTurtle:
+    def test_serialize_groups_subject(self):
+        g = Graph()
+        g.add((ex("alice"), FOAF.name, Literal("Alice")))
+        g.add((ex("alice"), RDF.type, FOAF.Person))
+        text = serialize_turtle(g)
+        assert text.count("example.org/alice") == 1
+        assert "a foaf:Person" in text
+        assert '@prefix foaf:' in text
+
+    def test_parse_prefixed(self):
+        text = """
+        @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+        @prefix ex: <http://example.org/> .
+        ex:alice a foaf:Person ;
+            foaf:name "Alice" ;
+            foaf:knows ex:bob, ex:carol .
+        """
+        g = load_turtle(text)
+        assert len(g) == 4
+        assert (ex("alice"), FOAF.knows, ex("carol")) in g
+
+    def test_parse_numbers_and_booleans(self):
+        text = '@prefix ex: <http://example.org/> .\n' \
+               'ex:s ex:count 42 ; ex:score 4.5 ; ex:ok true .'
+        g = load_turtle(text)
+        assert g.value(ex("s"), ex("count")).value == 42
+        assert g.value(ex("s"), ex("score")).value == 4.5
+        assert g.value(ex("s"), ex("ok")).value is True
+
+    def test_parse_lang_and_typed_literals(self):
+        text = (
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+            'ex:mole ex:label "Mole"@it ; ex:height "167.5"^^xsd:double .'
+        )
+        g = load_turtle(text)
+        assert g.value(ex("mole"), ex("label")).lang == "it"
+        assert g.value(ex("mole"), ex("height")).value == 167.5
+
+    def test_roundtrip(self):
+        g = Graph()
+        g.add((ex("alice"), FOAF.name, Literal("Alice")))
+        g.add((ex("alice"), FOAF.age, Literal(30)))
+        g.add((ex("alice"), RDF.type, FOAF.Person))
+        g.add((ex("mole"), RDFS.label, Literal("Mole", lang="it")))
+        g2 = load_turtle(serialize_turtle(g))
+        assert set(g2.triples()) == set(g.triples())
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(TurtleError):
+            load_turtle("nope:s nope:p nope:o .")
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(TurtleError):
+            load_turtle('<http://x/s> "lit" <http://x/o> .')
+
+    def test_sparql_style_prefix(self):
+        text = 'PREFIX ex: <http://example.org/>\nex:a ex:p ex:b .'
+        g = load_turtle(text)
+        assert (ex("a"), ex("p"), ex("b")) in g

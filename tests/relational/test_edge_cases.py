@@ -1,0 +1,105 @@
+"""Relational engine edge cases: NULL handling, ordering, LIKE quirks."""
+
+import pytest
+
+from repro.relational import Database, SchemaError, SqlSyntaxError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER, s TEXT)"
+    )
+    database.execute(
+        "INSERT INTO t (id, v, s) VALUES "
+        "(1, 10, 'alpha'), (2, NULL, 'Beta'), (3, 5, NULL), "
+        "(4, 10, 'gamma%')"
+    )
+    return database
+
+
+class TestNullSemantics:
+    def test_null_never_equal(self, db):
+        assert len(db.execute("SELECT id FROM t WHERE v = 10")) == 2
+        assert len(db.execute("SELECT id FROM t WHERE v != 10")) == 1
+
+    def test_null_not_in_comparisons(self, db):
+        assert len(db.execute("SELECT id FROM t WHERE v < 100")) == 3
+
+    def test_order_by_nulls_first(self, db):
+        result = db.execute("SELECT id FROM t ORDER BY v")
+        assert [r[0] for r in result] == [2, 3, 1, 4]
+
+    def test_update_to_null(self, db):
+        db.execute("UPDATE t SET s = NULL WHERE id = 1")
+        result = db.execute("SELECT id FROM t WHERE s IS NULL")
+        assert {r[0] for r in result} == {1, 3}
+
+    def test_not_null_update_rejected(self):
+        from repro.relational import IntegrityError
+
+        database = Database()
+        database.execute(
+            "CREATE TABLE u (id INTEGER PRIMARY KEY, name TEXT NOT NULL)"
+        )
+        database.execute("INSERT INTO u (id, name) VALUES (1, 'x')")
+        with pytest.raises(IntegrityError):
+            database.execute("UPDATE u SET name = NULL")
+
+
+class TestLike:
+    def test_percent_matches_anything(self, db):
+        result = db.execute("SELECT id FROM t WHERE s LIKE '%a%'")
+        assert {r[0] for r in result} == {1, 2, 4}
+
+    def test_case_insensitive_like(self, db):
+        assert len(db.execute("SELECT id FROM t WHERE s LIKE 'beta'")) \
+            == 1
+
+    def test_like_on_null_false(self, db):
+        assert len(db.execute("SELECT id FROM t WHERE s LIKE '%'")) == 3
+
+    def test_literal_percent_in_data(self, db):
+        # regex metacharacters in the data must not break matching
+        result = db.execute("SELECT id FROM t WHERE s LIKE 'gamma%'")
+        assert {r[0] for r in result} == {4}
+
+
+class TestOrderingMixedTypes:
+    def test_text_and_null_order(self, db):
+        result = db.execute("SELECT id FROM t ORDER BY s DESC")
+        # NULL first ascending -> last descending
+        assert result.rows[-1][0] == 3
+
+    def test_multi_key_stability(self, db):
+        result = db.execute("SELECT id FROM t ORDER BY v DESC, id ASC")
+        assert [r[0] for r in result] == [1, 4, 3, 2]
+
+
+class TestMisc:
+    def test_unknown_table(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("SELECT * FROM nope")
+
+    def test_unknown_column_in_where(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("SELECT id FROM t WHERE missing = 1")
+
+    def test_scalar_requires_single_cell(self, db):
+        with pytest.raises(ValueError):
+            db.execute("SELECT id FROM t").scalar()
+
+    def test_resultset_dicts(self, db):
+        rows = db.execute(
+            "SELECT id, v FROM t WHERE id = 1"
+        ).dicts()
+        assert rows == [{"id": 1, "v": 10}]
+
+    def test_empty_in_list_is_syntax_error(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT id FROM t WHERE id IN ()")
+
+    def test_repr(self, db):
+        assert "t" in repr(db)
+        assert "columns" in repr(db.execute("SELECT id FROM t"))

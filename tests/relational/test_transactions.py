@@ -1,0 +1,94 @@
+"""Snapshot transaction tests."""
+
+import pytest
+
+from repro.relational import Database, IntegrityError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, v TEXT "
+        "UNIQUE)"
+    )
+    database.execute("INSERT INTO t (v) VALUES ('one'), ('two')")
+    return database
+
+
+class TestCommit:
+    def test_clean_exit_commits(self, db):
+        with db.transaction():
+            db.execute("INSERT INTO t (v) VALUES ('three')")
+        assert len(db.table("t")) == 3
+
+
+class TestRollback:
+    def test_insert_rolled_back(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute("INSERT INTO t (v) VALUES ('three')")
+                raise RuntimeError("abort")
+        assert len(db.table("t")) == 2
+        assert db.execute(
+            "SELECT COUNT(*) FROM t WHERE v = 'three'"
+        ).scalar() == 0
+
+    def test_update_and_delete_rolled_back(self, db):
+        with pytest.raises(ValueError):
+            with db.transaction():
+                db.execute("UPDATE t SET v = 'changed' WHERE id = 1")
+                db.execute("DELETE FROM t WHERE id = 2")
+                raise ValueError("abort")
+        rows = db.execute("SELECT v FROM t ORDER BY id").rows
+        assert rows == [("one",), ("two",)]
+
+    def test_autoincrement_restored(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute("INSERT INTO t (v) VALUES ('x')")  # id 3
+                raise RuntimeError("abort")
+        row = db.insert("t", v="after")
+        assert row["id"] == 3  # counter rolled back too
+
+    def test_unique_index_restored(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute("DELETE FROM t WHERE v = 'one'")
+                raise RuntimeError("abort")
+        # 'one' is back, so re-inserting it must violate uniqueness
+        with pytest.raises(IntegrityError):
+            db.insert("t", v="one")
+
+    def test_created_table_dropped_on_rollback(self, db):
+        from repro.relational import SchemaError
+
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute("CREATE TABLE fresh (id INTEGER PRIMARY KEY)")
+                raise RuntimeError("abort")
+        with pytest.raises(SchemaError):
+            db.table("fresh")
+
+    def test_integrity_error_inside_transaction(self, db):
+        with pytest.raises(IntegrityError):
+            with db.transaction():
+                db.execute("INSERT INTO t (v) VALUES ('new')")
+                db.execute("INSERT INTO t (v) VALUES ('one')")  # dup
+        # the whole scope rolled back, including the first insert
+        assert len(db.table("t")) == 2
+
+    def test_nested_scopes(self, db):
+        with db.transaction():
+            db.execute("INSERT INTO t (v) VALUES ('outer')")
+            with pytest.raises(RuntimeError):
+                with db.transaction():
+                    db.execute("INSERT INTO t (v) VALUES ('inner')")
+                    raise RuntimeError("abort inner")
+            # inner rolled back, outer insert survives
+            assert db.execute(
+                "SELECT COUNT(*) FROM t WHERE v = 'inner'"
+            ).scalar() == 0
+        assert db.execute(
+            "SELECT COUNT(*) FROM t WHERE v = 'outer'"
+        ).scalar() == 1

@@ -1,0 +1,261 @@
+"""Resolver and broker tests."""
+
+import pytest
+
+from repro.lod import build_lod_corpus
+from repro.rdf import DBPR, EVRIR, OWL, RDF, URIRef
+from repro.resolvers import (
+    Candidate,
+    DBpediaResolver,
+    EvriResolver,
+    GRAPH_DBPEDIA,
+    GRAPH_EVRI,
+    GRAPH_GEONAMES,
+    GRAPH_OTHER,
+    GeonamesResolver,
+    SemanticBroker,
+    SindiceResolver,
+    ZemantaResolver,
+    build_evri_graph,
+    classify_graph,
+    default_resolvers,
+)
+from repro.lod.geonames import geonames_uri
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_lod_corpus()
+
+
+@pytest.fixture(scope="module")
+def dbpedia_resolver(corpus):
+    return DBpediaResolver(corpus.dbpedia)
+
+
+@pytest.fixture(scope="module")
+def geonames_resolver(corpus):
+    return GeonamesResolver(corpus.geonames)
+
+
+class TestClassifyGraph:
+    def test_families(self):
+        assert classify_graph(
+            URIRef("http://sws.geonames.org/3165524/")
+        ) == GRAPH_GEONAMES
+        assert classify_graph(
+            URIRef("http://dbpedia.org/resource/Turin")
+        ) == GRAPH_DBPEDIA
+        assert classify_graph(
+            URIRef("http://www.evri.com/entity/Turin")
+        ) == GRAPH_EVRI
+        assert classify_graph(
+            URIRef("http://linkedgeodata.org/triplify/node1")
+        ) == GRAPH_OTHER
+
+
+class TestCandidate:
+    def test_graph_autofilled(self):
+        candidate = Candidate(
+            resource=DBPR.Turin, label="Turin", score=0.9,
+            resolver="x", word="turin",
+        )
+        assert candidate.graph == GRAPH_DBPEDIA
+
+    def test_score_validated(self):
+        with pytest.raises(ValueError):
+            Candidate(
+                resource=DBPR.Turin, label="T", score=1.5,
+                resolver="x", word="t",
+            )
+
+
+class TestDBpediaResolver:
+    def test_exact_label_max_score(self, dbpedia_resolver):
+        candidates = dbpedia_resolver.resolve_term("Turin")
+        assert candidates[0].resource == DBPR.Turin
+        assert candidates[0].score == 1.0
+
+    def test_multilingual_label(self, dbpedia_resolver):
+        candidates = dbpedia_resolver.resolve_term("Torino", language="it")
+        assert candidates
+        assert candidates[0].resource == DBPR.Turin
+
+    def test_redirect_followed(self, dbpedia_resolver):
+        candidates = dbpedia_resolver.resolve_term("Coliseum")
+        resources = [c.resource for c in candidates]
+        assert DBPR.Colosseum in resources
+        assert DBPR.Coliseum not in resources
+
+    def test_disambiguation_pages_skipped(self, dbpedia_resolver):
+        candidates = dbpedia_resolver.resolve_term("Paris")
+        resources = {c.resource for c in candidates}
+        assert DBPR["Paris_(disambiguation)"] not in resources
+        assert DBPR.Paris in resources
+
+    def test_ambiguous_word_multiple_candidates(self, dbpedia_resolver):
+        candidates = dbpedia_resolver.resolve_term("Paris")
+        resources = {c.resource for c in candidates}
+        # the city and the Trojan prince both match
+        assert DBPR.Paris in resources
+        assert DBPR["Paris_(mythology)"] in resources
+
+    def test_multiword(self, dbpedia_resolver):
+        candidates = dbpedia_resolver.resolve_term("Mole Antonelliana")
+        assert candidates[0].resource == DBPR.Mole_Antonelliana
+        assert candidates[0].score == 1.0
+
+    def test_entity_type_filter(self, corpus, dbpedia_resolver):
+        from repro.rdf import DBPO
+
+        typed = dbpedia_resolver.resolve_term(
+            "Paris", entity_type=DBPO.City
+        )
+        assert {c.resource for c in typed} == {DBPR.Paris}
+
+    def test_no_match(self, dbpedia_resolver):
+        assert dbpedia_resolver.resolve_term("qwertyuiop") == []
+
+    def test_candidates_sorted_by_score(self, dbpedia_resolver):
+        candidates = dbpedia_resolver.resolve_term("Paris")
+        scores = [c.score for c in candidates]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestGeonamesResolver:
+    def test_canonical_name(self, geonames_resolver):
+        candidates = geonames_resolver.resolve_term("Turin")
+        assert candidates[0].resource == geonames_uri(3165524)
+        assert candidates[0].entity_type == "place"
+
+    def test_alternate_name(self, geonames_resolver):
+        candidates = geonames_resolver.resolve_term("Torino")
+        assert candidates
+        assert candidates[0].resource == geonames_uri(3165524)
+        assert candidates[0].label == "Turin"  # canonical label reported
+
+    def test_population_ranking(self, geonames_resolver):
+        rome = geonames_resolver.resolve_term("Rome")[0]
+        florence = geonames_resolver.resolve_term("Florence")[0]
+        assert rome.score > florence.score
+
+    def test_non_place_no_match(self, geonames_resolver):
+        assert geonames_resolver.resolve_term("Colosseum") == []
+
+
+class TestSindiceResolver:
+    def test_cross_graph_results(self, corpus):
+        resolver = SindiceResolver(
+            [corpus.dbpedia, corpus.geonames, corpus.linkedgeodata]
+        )
+        candidates = resolver.resolve_term("Turin")
+        graphs = {c.graph for c in candidates}
+        # candidates refer to several ontologies — the paper's rationale
+        # for graph-level (not resolver-level) priorities
+        assert GRAPH_DBPEDIA in graphs
+        assert GRAPH_GEONAMES in graphs
+        assert GRAPH_OTHER in graphs  # linkedgeodata node
+
+    def test_does_not_skip_disambiguation(self, corpus):
+        resolver = SindiceResolver([corpus.dbpedia])
+        candidates = resolver.resolve_term("Paris")
+        resources = {c.resource for c in candidates}
+        assert DBPR["Paris_(disambiguation)"] in resources
+
+
+class TestEvriResolver:
+    def test_term_person(self):
+        resolver = EvriResolver()
+        candidates = resolver.resolve_term("Gaudí")
+        assert candidates
+        assert candidates[0].entity_type in ("person", "place")
+
+    def test_full_text_finds_multiword_entities(self):
+        resolver = EvriResolver()
+        candidates = resolver.resolve_text(
+            "a picture of the mole antonelliana at night"
+        )
+        assert any(
+            c.resource == EVRIR.Mole_Antonelliana for c in candidates
+        )
+
+    def test_full_text_no_partial_match(self):
+        resolver = EvriResolver()
+        candidates = resolver.resolve_text("the molecular structure")
+        assert not any("Mole" in str(c.resource) for c in candidates)
+
+    def test_evri_graph_sameas(self):
+        g = build_evri_graph()
+        assert (EVRIR.Turin, OWL.sameAs, DBPR.Turin) in g
+        assert len(list(g.triples((EVRIR.Turin, RDF.type, None)))) == 1
+
+
+class TestZemantaResolver:
+    def test_full_text_label_scan(self, corpus):
+        resolver = ZemantaResolver(corpus.dbpedia)
+        candidates = resolver.resolve_text("Visiting the Eiffel Tower")
+        assert any(c.resource == DBPR.Eiffel_Tower for c in candidates)
+
+    def test_redirect_label_returned_unresolved(self, corpus):
+        resolver = ZemantaResolver(corpus.dbpedia)
+        candidates = resolver.resolve_text("inside the Coliseum today")
+        resources = {c.resource for c in candidates}
+        # Zemanta reports the redirect page; cleanup is the filter's job
+        assert DBPR.Coliseum in resources
+
+    def test_longer_matches_score_higher(self, corpus):
+        resolver = ZemantaResolver(corpus.dbpedia)
+        candidates = resolver.resolve_text(
+            "Mole Antonelliana in Turin"
+        )
+        by_resource = {c.resource: c for c in candidates}
+        assert (
+            by_resource[DBPR.Mole_Antonelliana].score
+            > by_resource[DBPR.Turin].score
+        )
+
+
+class TestBroker:
+    def test_empty_resolvers_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticBroker([])
+
+    def test_per_word_grouping(self, corpus):
+        broker = SemanticBroker(default_resolvers(corpus))
+        result = broker.resolve(["Turin", "Colosseum"])
+        assert set(result.words()) == {"Turin", "Colosseum"}
+        assert result.per_word["Turin"]
+        assert result.per_word["Colosseum"]
+
+    def test_dedup_keeps_best_score(self, corpus):
+        broker = SemanticBroker(default_resolvers(corpus))
+        result = broker.resolve(["Turin"])
+        resources = [c.resource for c in result.per_word["Turin"]]
+        assert len(resources) == len(set(resources))
+        turin = next(
+            c for c in result.per_word["Turin"]
+            if c.resource == DBPR.Turin
+        )
+        assert turin.score == 1.0  # the DBpedia exact match won the merge
+
+    def test_full_text_candidates(self, corpus):
+        broker = SemanticBroker(default_resolvers(corpus))
+        result = broker.resolve(
+            ["night"], text="mole antonelliana by night"
+        )
+        assert any(
+            "Mole_Antonelliana" in str(c.resource)
+            for c in result.full_text
+        )
+
+    def test_duplicate_words_resolved_once(self, corpus):
+        broker = SemanticBroker(default_resolvers(corpus))
+        result = broker.resolve(["Turin", "Turin"])
+        assert len(result.per_word) == 1
+
+    def test_all_candidates_flattened(self, corpus):
+        broker = SemanticBroker(default_resolvers(corpus))
+        result = broker.resolve(["Turin"], text="Turin")
+        assert len(result.all_candidates()) >= len(
+            result.per_word["Turin"]
+        )

@@ -1,0 +1,141 @@
+"""GRAPH-clause and named-graph dataset query tests."""
+
+import pytest
+
+from repro.rdf import Dataset, FOAF, Graph, Literal, RDF, URIRef
+from repro.sparql import Evaluator, SparqlSyntaxError, parse_query
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return URIRef(EX + name)
+
+
+@pytest.fixture
+def dataset():
+    ds = Dataset()
+    ds.default.add((ex("default_only"), FOAF.name, Literal("D")))
+    g1 = ds.graph("http://graphs/one")
+    g1.add((ex("alice"), FOAF.name, Literal("Alice")))
+    g1.add((ex("alice"), RDF.type, FOAF.Person))
+    g2 = ds.graph("http://graphs/two")
+    g2.add((ex("bob"), FOAF.name, Literal("Bob")))
+    return ds
+
+
+class TestUnionDefault:
+    def test_plain_bgp_sees_union(self, dataset):
+        result = Evaluator(dataset).evaluate(
+            "SELECT ?s WHERE { ?s foaf:name ?n }"
+        )
+        assert len(result) == 3  # default + both named graphs
+
+    def test_plain_graph_still_works(self):
+        g = Graph()
+        g.add((ex("x"), FOAF.name, Literal("X")))
+        result = Evaluator(g).evaluate(
+            "SELECT ?s WHERE { ?s foaf:name ?n }"
+        )
+        assert len(result) == 1
+
+
+class TestGraphClause:
+    def test_graph_with_iri(self, dataset):
+        result = Evaluator(dataset).evaluate(
+            """SELECT ?s WHERE {
+                 GRAPH <http://graphs/one> { ?s foaf:name ?n }
+               }"""
+        )
+        assert [r["s"] for r in result] == [ex("alice")]
+
+    def test_graph_with_unknown_iri(self, dataset):
+        result = Evaluator(dataset).evaluate(
+            """SELECT ?s WHERE {
+                 GRAPH <http://graphs/none> { ?s foaf:name ?n }
+               }"""
+        )
+        assert len(result) == 0
+
+    def test_graph_variable_binds_identifier(self, dataset):
+        result = Evaluator(dataset).evaluate(
+            """SELECT ?g ?s WHERE {
+                 GRAPH ?g { ?s foaf:name ?n }
+               } ORDER BY ?g"""
+        )
+        pairs = [(str(r["g"]), str(r["s"])) for r in result]
+        assert pairs == [
+            ("http://graphs/one", EX + "alice"),
+            ("http://graphs/two", EX + "bob"),
+        ]
+
+    def test_default_graph_triples_not_in_graph_clause(self, dataset):
+        result = Evaluator(dataset).evaluate(
+            """SELECT ?s WHERE {
+                 GRAPH ?g { ?s foaf:name ?n }
+                 FILTER(?s = <http://example.org/default_only>)
+               }"""
+        )
+        assert len(result) == 0
+
+    def test_graph_joined_with_outer_pattern(self, dataset):
+        result = Evaluator(dataset).evaluate(
+            """SELECT ?s WHERE {
+                 ?s a foaf:Person .
+                 GRAPH <http://graphs/one> { ?s foaf:name ?n }
+               }"""
+        )
+        assert [r["s"] for r in result] == [ex("alice")]
+
+    def test_pre_bound_graph_variable(self, dataset):
+        result = Evaluator(dataset).evaluate(
+            """SELECT ?s WHERE {
+                 VALUES ?g { <http://graphs/two> }
+                 GRAPH ?g { ?s foaf:name ?n }
+               }"""
+        )
+        assert [r["s"] for r in result] == [ex("bob")]
+
+    def test_filter_inside_graph_scopes_to_that_graph(self, dataset):
+        result = Evaluator(dataset).evaluate(
+            """SELECT ?s WHERE {
+                 GRAPH ?g {
+                   ?s foaf:name ?n .
+                   FILTER EXISTS { ?s a foaf:Person }
+                 }
+               }"""
+        )
+        assert [r["s"] for r in result] == [ex("alice")]
+
+    def test_graph_on_plain_graph_evaluator_matches_nothing(self):
+        g = Graph()
+        g.add((ex("x"), FOAF.name, Literal("X")))
+        result = Evaluator(g).evaluate(
+            "SELECT ?s WHERE { GRAPH ?g { ?s foaf:name ?n } }"
+        )
+        assert len(result) == 0
+
+    def test_literal_graph_target_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(
+                'SELECT ?s WHERE { GRAPH "lit" { ?s ?p ?o } }'
+            )
+
+
+class TestLodCorpusDataset:
+    def test_named_graph_query_on_corpus(self):
+        from repro.lod import build_lod_corpus
+
+        ds = build_lod_corpus().as_dataset()
+        result = Evaluator(ds).evaluate(
+            """SELECT ?g (COUNT(*) AS ?n) WHERE {
+                 GRAPH ?g { ?s ?p ?o }
+               } GROUP BY ?g ORDER BY ?g"""
+        )
+        graphs = {str(r["g"]): r["n"].value for r in result}
+        assert set(graphs) == {
+            "http://dbpedia.org",
+            "http://sws.geonames.org",
+            "http://linkedgeodata.org",
+        }
+        assert all(count > 0 for count in graphs.values())

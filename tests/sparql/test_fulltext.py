@@ -1,0 +1,131 @@
+"""Full-text matching and inverted index tests."""
+
+from repro.rdf import FOAF, Graph, Literal, RDFS, URIRef
+from repro.sparql.fulltext import (
+    FullTextIndex,
+    contains,
+    tokenize_text,
+)
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return URIRef(EX + name)
+
+
+class TestTokenizeText:
+    def test_lowercases(self):
+        assert tokenize_text("Mole Antonelliana") == ["mole", "antonelliana"]
+
+    def test_punctuation_split(self):
+        assert tokenize_text("Turin, Italy!") == ["turin", "italy"]
+
+    def test_empty(self):
+        assert tokenize_text("") == []
+
+    def test_unicode_words(self):
+        assert "cittá" in tokenize_text("la cittá vecchia")
+
+
+class TestContains:
+    def test_single_word(self):
+        assert contains("The Mole Antonelliana in Turin", "mole")
+
+    def test_case_insensitive(self):
+        assert contains("TURIN by night", "turin")
+
+    def test_implicit_and(self):
+        assert contains("picture of Turin at night", "turin night")
+        assert not contains("picture of Turin", "turin night")
+
+    def test_explicit_and(self):
+        assert contains("Turin by night", "turin AND night")
+
+    def test_or(self):
+        assert contains("a view of Rome", "turin OR rome")
+        assert not contains("a view of Milan", "turin OR rome")
+
+    def test_quoted_phrase(self):
+        assert contains("the Mole Antonelliana tower", '"mole antonelliana"')
+        assert not contains("Antonelliana built the Mole", '"mole antonelliana"')
+
+    def test_empty_pattern(self):
+        assert not contains("anything", "")
+
+    def test_or_with_phrases(self):
+        assert contains(
+            "piazza castello today", '"piazza castello" OR "mole antonelliana"'
+        )
+
+
+class TestFullTextIndex:
+    def _graph(self):
+        g = Graph()
+        g.add((ex("turin"), RDFS.label, Literal("Turin", lang="en")))
+        g.add((ex("turin"), RDFS.label, Literal("Torino", lang="it")))
+        g.add((ex("mole"), RDFS.label, Literal("Mole Antonelliana", lang="it")))
+        g.add((ex("alice"), FOAF.name, Literal("Alice Turin")))
+        g.add((ex("turin"), RDFS.comment, Literal("city in north Italy")))
+        g.add((ex("rome"), RDFS.label, Literal("Rome")))
+        # non-literal objects must be ignored
+        g.add((ex("turin"), RDFS.seeAlso, ex("rome")))
+        return g
+
+    def test_search_single_token(self):
+        idx = FullTextIndex.from_graph(self._graph())
+        assert idx.search("torino") == {ex("turin")}
+
+    def test_search_intersection(self):
+        idx = FullTextIndex.from_graph(self._graph())
+        assert idx.search("mole antonelliana") == {ex("mole")}
+
+    def test_search_across_subjects(self):
+        idx = FullTextIndex.from_graph(self._graph())
+        assert idx.search("turin") == {ex("turin"), ex("alice")}
+
+    def test_search_miss(self):
+        idx = FullTextIndex.from_graph(self._graph())
+        assert idx.search("paris") == set()
+
+    def test_search_empty_query(self):
+        idx = FullTextIndex.from_graph(self._graph())
+        assert idx.search("") == set()
+
+    def test_predicate_restriction(self):
+        idx = FullTextIndex.from_graph(
+            self._graph(), predicates=[RDFS.label]
+        )
+        assert idx.search("alice") == set()
+        assert idx.search("turin") == {ex("turin")}
+
+    def test_prefix_search(self):
+        idx = FullTextIndex.from_graph(self._graph())
+        # "tur" prefix matches Turin label and Alice Turin
+        assert ex("turin") in idx.search_prefix("tur")
+        assert ex("alice") in idx.search_prefix("tur")
+
+    def test_prefix_search_incremental_narrowing(self):
+        idx = FullTextIndex.from_graph(self._graph())
+        assert idx.search_prefix("to") >= {ex("turin")}  # torino
+        assert idx.search_prefix("tori") == {ex("turin")}
+
+    def test_prefix_search_empty_prefix(self):
+        idx = FullTextIndex.from_graph(self._graph())
+        assert idx.search_prefix("") == set()
+
+    def test_add_invalidates_prefix_cache(self):
+        idx = FullTextIndex.from_graph(self._graph())
+        assert idx.search_prefix("zanzibar") == set()
+        idx.add(ex("z"), RDFS.label, "Zanzibar")
+        assert idx.search_prefix("zanzibar") == {ex("z")}
+
+    def test_len_counts_tokens(self):
+        idx = FullTextIndex()
+        idx.add(ex("a"), RDFS.label, "one two two")
+        assert len(idx) == 2
+
+    def test_tokens_sorted(self):
+        idx = FullTextIndex()
+        idx.add(ex("a"), RDFS.label, "zebra apple")
+        assert idx.tokens() == ["apple", "zebra"]

@@ -1,0 +1,87 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.sparql.errors import SparqlSyntaxError
+from repro.sparql.tokenizer import tokenize, unquote_string
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop eof
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Select SELECT")
+        assert all(t.kind == "keyword" and t.text == "SELECT"
+                   for t in tokens[:-1])
+
+    def test_variables(self):
+        tokens = tokenize("?link $points")
+        assert [t.text for t in tokens[:-1]] == ["link", "points"]
+        assert all(t.kind == "var" for t in tokens[:-1])
+
+    def test_iri(self):
+        assert kinds("<http://example.org/a>") == ["iri"]
+
+    def test_pname(self):
+        assert kinds("foaf:name bif:st_intersects") == ["pname", "pname"]
+
+    def test_prefix_declaration_pname(self):
+        tokens = tokenize("PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>")
+        assert tokens[0].text == "PREFIX"
+        assert tokens[1].kind == "pname"
+        assert tokens[1].text == "rdfs:"
+
+    def test_string_with_lang(self):
+        tokens = tokenize('"Mole Antonelliana"@it')
+        assert tokens[0].kind == "string"
+        assert tokens[1].kind == "langtag"
+        assert tokens[1].text == "@it"
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"say \"hi\""')
+        assert unquote_string(tokens[0].text) == r'say \"hi\"'
+
+    def test_long_string(self):
+        tokens = tokenize('"""multi\nline"""')
+        assert tokens[0].kind == "string"
+        assert unquote_string(tokens[0].text) == "multi\nline"
+
+    def test_numbers(self):
+        assert texts("0.3 42 1e6 -7") == ["0.3", "42", "1e6", "-7"]
+        assert kinds("0.3 42") == ["number", "number"]
+
+    def test_operators(self):
+        assert texts("<= >= != && || = < >") == [
+            "<=", ">=", "!=", "&&", "||", "=", "<", ">",
+        ]
+
+    def test_comment_skipped(self):
+        assert kinds("?a # a comment\n?b") == ["var", "var"]
+
+    def test_punct(self):
+        assert kinds("{ } ( ) . ; ,") == ["punct"] * 7
+
+    def test_a_keyword(self):
+        tokens = tokenize("?x a foaf:Person")
+        assert tokens[1].is_keyword("A")
+
+    def test_typed_literal_tokens(self):
+        assert kinds('"5"^^xsd:integer') == ["string", "dtype", "pname"]
+
+    def test_bad_character(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize("SELECT ~ WHERE")
+
+    def test_offsets_recorded(self):
+        tokens = tokenize("SELECT ?x")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 7
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"

@@ -1,0 +1,104 @@
+"""CLI tests (run in-process through main())."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnnotate:
+    def test_annotate_title(self, capsys):
+        assert main(
+            ["annotate", "Tramonto sulla Mole Antonelliana"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "language : it" in out
+        assert "Mole_Antonelliana" in out
+
+    def test_annotate_with_tags(self, capsys):
+        assert main(["annotate", "a view", "--tags", "Coliseum"]) == 0
+        out = capsys.readouterr().out
+        assert "Colosseum" in out
+
+    def test_annotate_lang_override(self, capsys):
+        assert main(["annotate", "Torino", "--lang", "it"]) == 0
+        assert "language : it" in capsys.readouterr().out
+
+
+class TestDetect:
+    def test_detect(self, capsys):
+        assert main(
+            ["detect", "una bellissima passeggiata stasera"]
+        ) == 0
+        assert capsys.readouterr().out.startswith("it ")
+
+
+class TestQuery:
+    NT = (
+        '<http://x/s> <http://x/p> "hello" .\n'
+        "<http://x/s> <http://x/q> <http://x/o> .\n"
+    )
+
+    def test_select(self, tmp_path, capsys):
+        data = tmp_path / "data.nt"
+        data.write_text(self.NT)
+        assert main(
+            ["query", str(data),
+             "SELECT ?o WHERE { <http://x/s> <http://x/p> ?o }"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hello" in out
+        assert "(1 row(s))" in out
+
+    def test_ask(self, tmp_path, capsys):
+        data = tmp_path / "data.nt"
+        data.write_text(self.NT)
+        assert main(["query", str(data), "ASK { ?s ?p ?o }"]) == 0
+        assert capsys.readouterr().out.strip() == "yes"
+
+    def test_construct(self, tmp_path, capsys):
+        data = tmp_path / "data.nt"
+        data.write_text(self.NT)
+        assert main(
+            ["query", str(data),
+             "CONSTRUCT { ?s <http://x/new> ?o } "
+             "WHERE { ?s <http://x/q> ?o }"]
+        ) == 0
+        assert "<http://x/new>" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(
+            ["query", "/no/such/file.nt", "ASK { ?s ?p ?o }"]
+        ) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(self.NT))
+        assert main(["query", "-", "ASK { ?s ?p ?o }"]) == 0
+        assert capsys.readouterr().out.strip() == "yes"
+
+
+class TestDumpAndDemo:
+    def test_dump_is_loadable_ntriples(self, capsys):
+        from repro.rdf import load_ntriples
+
+        assert main(["dump"]) == 0
+        out = capsys.readouterr().out
+        graph = load_ntriples(out)
+        assert len(graph) > 10
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Mole" in out
+
+
+class TestParser:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])
