@@ -1,0 +1,31 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test lint-tools self-check benchmarks
+
+## The CI gate: tier-1 tests + static analysis + the repo's own lint.
+check: test lint-tools self-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## ruff/mypy run when installed (the `lint` extra); skipped with a
+## notice otherwise so `make check` works in minimal containers.
+lint-tools:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src/repro; \
+	else \
+		echo "ruff not installed — skipping (pip install -e '.[lint]')"; \
+	fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed — skipping (pip install -e '.[lint]')"; \
+	fi
+
+self-check:
+	$(PYTHON) -m repro lint --self-check
+	$(PYTHON) -m repro lint examples/ benchmarks/
+
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

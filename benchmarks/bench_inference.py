@@ -42,6 +42,7 @@ def bench_inferred_class_query(benchmark):
 
     result = benchmark(
         lambda: evaluator.evaluate(
+            "PREFIX dbpo: <http://dbpedia.org/ontology/> "
             "SELECT ?p WHERE { ?p a dbpo:Place }"
         )
     )
@@ -62,6 +63,7 @@ def test_platform_inference_flag():
         timestamp=1000, point=Point(7.6930, 45.0690),
     ))
     result = platform.evaluator().evaluate(
+        "PREFIX sioc: <http://rdfs.org/sioc/ns#> "
         "SELECT ?p WHERE { ?p a sioc:Post }"
     )
     print(f"\nINF: sioc:Post matches via inference: {len(result)}")

@@ -79,6 +79,7 @@ def bench_sparql_join(benchmark, filled_graph):
     size, graph = filled_graph
     evaluator = Evaluator(graph)
     query = """
+        PREFIX foaf: <http://xmlns.com/foaf/0.1/>
         SELECT ?a ?b WHERE {
           ?a foaf:knows ?b .
           ?a a foaf:Person .

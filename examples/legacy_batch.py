@@ -52,6 +52,7 @@ def main() -> None:
     target = Graph()
     push = SparqlPushService(target)
     sub_id = push.register(
+        "PREFIX dcterms: <http://purl.org/dc/terms/> "
         "SELECT ?pic ?concept WHERE "
         "{ ?pic dcterms:subject ?concept }"
     )

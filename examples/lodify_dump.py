@@ -56,6 +56,7 @@ def main() -> None:
 
     # cross-table information became foaf:knows links
     result = evaluator.evaluate("""
+        PREFIX foaf: <http://xmlns.com/foaf/0.1/>
         SELECT ?a ?b WHERE { ?a foaf:knows ?b } ORDER BY ?a
     """)
     print("\nfriendships as foaf:knows:")

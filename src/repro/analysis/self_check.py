@@ -1,0 +1,198 @@
+"""Self-check: lint everything the system itself ships.
+
+``repro lint --self-check`` runs the three analyzers over the paper's own
+artifacts — the virtual-album queries Q1/Q2/Q3, the 4-branch mashup M1,
+an :class:`~repro.core.album_builder.AlbumBuilder` composition, the
+platform's D2R mapping against the real gallery schema, and a shape check
+of the demo dump. This is the correctness gate CI runs; it must stay free
+of error-severity diagnostics.
+
+The module also knows how to lint files: ``.rq``/``.sparql`` files as
+whole queries, ``.nt`` files as graphs (shape check) and ``.py`` files by
+extracting every string literal that parses as a SPARQL query.
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from .diagnostics import Diagnostic, DiagnosticReport
+from .rules import make
+from .sparql_lint import SparqlLinter
+
+_QUERY_SUFFIXES = (".rq", ".sparql")
+
+
+def builtin_queries() -> List[Tuple[str, str]]:
+    """The paper's named queries: ``[(name, sparql), ...]``."""
+    from ..core.album_builder import AlbumBuilder
+    from ..core.albums import geo_album, rated_album, social_album
+    from ..core.mashup import mashup_query
+    from ..rdf.namespace import DBPR
+
+    builder = (
+        AlbumBuilder("self-check album")
+        .near_label("Mole Antonelliana", lang="it", radius_km=0.5)
+        .by_friend_of("oscar")
+        .min_rating(3)
+        .about_concept(DBPR.Mole_Antonelliana)
+        .order_by_rating()
+        .limit(20)
+    )
+    return [
+        ("Q1", geo_album().query),
+        ("Q2", social_album().query),
+        ("Q3", rated_album().query),
+        ("M1", mashup_query(pid=1)),
+        ("builder", builder.sparql()),
+    ]
+
+
+def _demo_platform():
+    """A small platform instance exercising every mapped table."""
+    from ..platform import Capture, Platform
+    from ..sparql.geo import Point
+
+    platform = Platform()
+    platform.register_user("oscar", "Oscar Rodriguez")
+    platform.register_user("walter", "Walter Goix")
+    platform.add_friendship("oscar", "walter")
+    platform.upload(Capture(
+        username="walter",
+        title="Tramonto sulla Mole Antonelliana",
+        tags=("mole", "torino"),
+        timestamp=1_325_376_000,
+        point=Point(7.6930, 45.0690),
+    ))
+    return platform
+
+
+def self_check(linter: Optional[SparqlLinter] = None) -> DiagnosticReport:
+    """Run the full self-check; returns the aggregated report."""
+    from ..d2r.dump import dump_graph
+    from ..lod.ontology import build_ontology
+    from .d2r_lint import MappingLinter
+    from .shapes import ShapeChecker
+
+    if linter is None:
+        linter = SparqlLinter.default()
+    report = DiagnosticReport()
+    for name, query in builtin_queries():
+        report.extend(linter.lint(query, name=name))
+
+    platform = _demo_platform()
+    report.extend(
+        MappingLinter().lint(platform.mapping, platform.db,
+                             name="platform-mapping")
+    )
+    dump = dump_graph(platform.db, platform.mapping)
+    checker = ShapeChecker(build_ontology())
+    report.extend(checker.check(dump, name="d2r-dump"))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# File linting (CLI)
+# ---------------------------------------------------------------------------
+
+
+def lint_path(
+    path: Path, linter: Optional[SparqlLinter] = None
+) -> List[Diagnostic]:
+    """Lint one file or directory (recursing over lintable suffixes)."""
+    if linter is None:
+        linter = SparqlLinter.default()
+    if path.is_dir():
+        diags: List[Diagnostic] = []
+        for child in sorted(path.rglob("*")):
+            if child.suffix in _QUERY_SUFFIXES + (".py", ".nt"):
+                diags.extend(lint_path(child, linter))
+        return diags
+    if not path.exists():
+        return [make(
+            "SP000",
+            "cannot read file: no such file or directory",
+            source=str(path),
+        )]
+    if path.suffix in _QUERY_SUFFIXES:
+        return _lint_query_file(path, linter)
+    if path.suffix == ".py":
+        return _lint_python_file(path, linter)
+    if path.suffix == ".nt":
+        return _lint_ntriples_file(path)
+    return [make(
+        "SP000",
+        f"cannot lint {path.name!r}: unsupported file type "
+        f"(expected .rq/.sparql/.py/.nt)",
+        source=str(path),
+    )]
+
+
+def _lint_query_file(path: Path, linter: SparqlLinter) -> List[Diagnostic]:
+    from ..sparql.errors import SparqlSyntaxError
+
+    text = path.read_text(encoding="utf-8")
+    try:
+        return linter.lint(text, name=str(path))
+    except SparqlSyntaxError as exc:
+        return [make("SP000", f"syntax error: {exc}", source=str(path))]
+
+
+def _lint_python_file(path: Path,
+                      linter: SparqlLinter) -> List[Diagnostic]:
+    """Extract and lint every string literal that parses as SPARQL."""
+    diags: List[Diagnostic] = []
+    text = path.read_text(encoding="utf-8")
+    for query, lineno in extract_sparql_strings(text):
+        diags.extend(linter.lint(query, name=f"{path}:{lineno}"))
+    return diags
+
+
+def extract_sparql_strings(text: str) -> List[Tuple[str, int]]:
+    """String constants in Python source that parse as SPARQL queries.
+
+    F-strings and concatenations are skipped (their query text is not
+    statically known); constants that merely *look* like queries but do
+    not parse are skipped too — a fragment is not a lintable artifact.
+    """
+    from ..sparql.errors import SparqlSyntaxError
+    from ..sparql.parser import parse_query
+
+    try:
+        tree = python_ast.parse(text)
+    except SyntaxError:
+        return []
+    found: List[Tuple[str, int]] = []
+    for node in python_ast.walk(tree):
+        if not isinstance(node, python_ast.Constant):
+            continue
+        value = node.value
+        if not isinstance(value, str):
+            continue
+        upper = value.upper()
+        if "WHERE" not in upper and "ASK" not in upper:
+            continue
+        if not any(form in upper for form in
+                   ("SELECT", "ASK", "CONSTRUCT", "DESCRIBE")):
+            continue
+        try:
+            parse_query(value)
+        except SparqlSyntaxError:
+            continue
+        found.append((value, node.lineno))
+    return found
+
+
+def _lint_ntriples_file(path: Path) -> List[Diagnostic]:
+    from ..lod.ontology import build_ontology
+    from ..rdf import load_ntriples
+    from .shapes import ShapeChecker
+
+    try:
+        graph = load_ntriples(path.read_text(encoding="utf-8"))
+    except Exception as exc:  # parse errors vary by serializer
+        return [make("SP000", f"cannot load N-Triples: {exc}",
+                     source=str(path))]
+    return ShapeChecker(build_ontology()).check(graph, name=str(path))

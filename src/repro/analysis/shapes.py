@@ -1,0 +1,171 @@
+"""Graph shape checker — a mini SHACL in the spirit of LOD browsers.
+
+Validates lifted/annotated triples against the schema the ontology graph
+declares: ``rdfs:domain``/``rdfs:range`` signatures (closed over
+``rdfs:subClassOf``) plus optional per-predicate cardinality bounds. The
+platform's D2R dump and the annotation pipeline's output both pass
+through here in ``repro lint --self-check``.
+
+Rules: SH001 domain violation, SH002 range violation, SH003 cardinality
+bound exceeded, SH004 untyped subject of a domain-constrained predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import (
+    DC,
+    DCTERMS,
+    FOAF,
+    GEO,
+    RDF,
+    RDFS,
+    REV,
+)
+from ..rdf.terms import Literal, Term, URIRef
+from .diagnostics import Diagnostic
+from .rules import make
+
+#: Functional-ish platform predicates: at most one value per subject.
+DEFAULT_CARDINALITIES: Dict[str, int] = {
+    str(GEO.geometry): 1,
+    str(REV.rating): 1,
+    str(FOAF.name): 1,
+    str(DC.title): 1,
+    str(DCTERMS.created): 1,
+}
+
+
+class ShapeChecker:
+    """Domain/range/cardinality validation against an ontology graph."""
+
+    def __init__(
+        self,
+        ontology: Graph,
+        cardinalities: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        self.domains: Dict[str, Set[str]] = {}
+        self.ranges: Dict[str, Set[str]] = {}
+        self._superclasses: Dict[str, Set[str]] = {}
+        self.cardinalities: Dict[str, int] = dict(
+            DEFAULT_CARDINALITIES if cardinalities is None
+            else cardinalities
+        )
+        self._load_ontology(ontology)
+
+    def _load_ontology(self, ontology: Graph) -> None:
+        direct_super: Dict[str, Set[str]] = {}
+        for s, p, o in ontology:
+            p_str = str(p)
+            if p_str == str(RDFS.subClassOf):
+                direct_super.setdefault(str(s), set()).add(str(o))
+            elif p_str == str(RDFS.domain):
+                self.domains.setdefault(str(s), set()).add(str(o))
+            elif p_str == str(RDFS.range):
+                self.ranges.setdefault(str(s), set()).add(str(o))
+        # transitive closure of subClassOf (the hierarchies are tiny)
+        for cls in direct_super:
+            closure: Set[str] = set()
+            stack = list(direct_super[cls])
+            while stack:
+                super_cls = stack.pop()
+                if super_cls in closure:
+                    continue
+                closure.add(super_cls)
+                stack.extend(direct_super.get(super_cls, ()))
+            self._superclasses[cls] = closure
+
+    def _class_closure(self, classes: Set[str]) -> Set[str]:
+        closure = set(classes)
+        for cls in classes:
+            closure |= self._superclasses.get(cls, set())
+        return closure
+
+    # ------------------------------------------------------------------
+    def check(
+        self, graph: Graph, name: Optional[str] = None
+    ) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        types: Dict[Term, Set[str]] = {}
+        rdf_type = RDF.type
+        for s, p, o in graph:
+            if p == rdf_type and isinstance(o, URIRef):
+                types.setdefault(s, set()).add(str(o))
+
+        counts: Dict[Tuple[Term, str], Set[Term]] = {}
+        for s, p, o in sorted(
+            graph, key=lambda t: (str(t[0]), str(t[1]), str(t[2]))
+        ):
+            p_str = str(p)
+            if p_str in self.cardinalities:
+                counts.setdefault((s, p_str), set()).add(o)
+            self._check_domain(s, p_str, types, name, diags)
+            self._check_range(o, p_str, types, name, diags)
+
+        for (subject, predicate), objects in sorted(
+            counts.items(), key=lambda kv: (str(kv[0][0]), kv[0][1])
+        ):
+            bound = self.cardinalities[predicate]
+            if len(objects) > bound:
+                diags.append(make(
+                    "SH003",
+                    f"<{subject}> has {len(objects)} distinct values "
+                    f"for <{predicate}> (declared max {bound})",
+                    source=name,
+                ))
+        return diags
+
+    def _check_domain(self, subject, predicate, types, name,
+                      diags) -> None:
+        declared = self.domains.get(predicate)
+        if not declared:
+            return
+        subject_types = types.get(subject)
+        if not subject_types:
+            diags.append(make(
+                "SH004",
+                f"<{subject}> uses <{predicate}> (domain "
+                f"{_fmt_classes(declared)}) but has no rdf:type",
+                source=name,
+            ))
+            return
+        closure = self._class_closure(subject_types)
+        if not closure & declared:
+            diags.append(make(
+                "SH001",
+                f"<{subject}> is typed {_fmt_classes(subject_types)} "
+                f"but <{predicate}> declares domain "
+                f"{_fmt_classes(declared)}",
+                source=name,
+            ))
+
+    def _check_range(self, obj, predicate, types, name, diags) -> None:
+        declared = self.ranges.get(predicate)
+        if not declared:
+            return
+        if isinstance(obj, Literal):
+            diags.append(make(
+                "SH002",
+                f"<{predicate}> declares range "
+                f"{_fmt_classes(declared)} but the object is the "
+                f"literal {obj.lexical!r}",
+                source=name,
+            ))
+            return
+        object_types = types.get(obj)
+        if not object_types:
+            return  # open world: untyped resources are not violations
+        closure = self._class_closure(object_types)
+        if not closure & declared:
+            diags.append(make(
+                "SH002",
+                f"<{obj}> is typed {_fmt_classes(object_types)} but "
+                f"<{predicate}> declares range {_fmt_classes(declared)}",
+                source=name,
+            ))
+
+
+def _fmt_classes(classes: Set[str]) -> str:
+    return ", ".join(f"<{c}>" for c in sorted(classes))

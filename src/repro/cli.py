@@ -7,6 +7,8 @@ Usage::
     python -m repro query data.nt "SELECT ?s WHERE { ?s ?p ?o } LIMIT 5"
     python -m repro demo
     python -m repro dump
+    python -m repro lint --self-check
+    python -m repro lint examples/ benchmarks/
 
 Each subcommand is a thin wrapper over the library; everything it prints
 can be reproduced programmatically.
@@ -61,6 +63,32 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "dump",
         help="print the demo platform's D2R N-Triples dump",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze SPARQL queries, D2R mappings and dumps",
+    )
+    lint.add_argument(
+        "files", nargs="*",
+        help="files or directories to lint (.rq/.sparql/.py/.nt)",
+    )
+    lint.add_argument(
+        "--queries", action="store_true",
+        help="lint the built-in queries (Q1/Q2/Q3/M1, album builder)",
+    )
+    lint.add_argument(
+        "--mapping", action="store_true",
+        help="lint the platform's D2R mapping against its schema",
+    )
+    lint.add_argument(
+        "--self-check", action="store_true", dest="self_check",
+        help="lint everything the system ships (queries, mapping, dump)",
+    )
+    lint.add_argument(
+        "--min-severity", default="info",
+        choices=("info", "warning", "error"),
+        help="hide diagnostics below this severity (default: info)",
     )
     return parser
 
@@ -176,12 +204,60 @@ def _cmd_dump(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from .analysis import (
+        DiagnosticReport,
+        Severity,
+        SparqlLinter,
+        builtin_queries,
+        lint_path,
+        self_check,
+    )
+
+    if not (args.files or args.queries or args.mapping or args.self_check):
+        print("error: nothing to lint (give files or --queries/--mapping/"
+              "--self-check)", file=sys.stderr)
+        return 2
+
+    report = DiagnosticReport()
+    linter = SparqlLinter.default()
+    if args.self_check:
+        report.extend(self_check(linter))
+    else:
+        if args.queries:
+            for name, query in builtin_queries():
+                report.extend(linter.lint(query, name=name))
+        if args.mapping:
+            from .analysis import MappingLinter
+            from .platform import Platform
+
+            platform = Platform()
+            report.extend(MappingLinter().lint(
+                platform.mapping, platform.db, name="platform-mapping"
+            ))
+    for path in args.files:
+        report.extend(lint_path(Path(path), linter))
+
+    min_severity = Severity.parse(args.min_severity)
+    rendered = report.render(min_severity)
+    if rendered:
+        print(rendered)
+    shown = len(report.at_least(min_severity))
+    errors = len(report.errors)
+    print(f"{len(report)} diagnostic(s) ({shown} shown, "
+          f"{errors} error(s))")
+    return 1 if report.has_errors() else 0
+
+
 _COMMANDS = {
     "annotate": _cmd_annotate,
     "detect": _cmd_detect,
     "query": _cmd_query,
     "demo": _cmd_demo,
     "dump": _cmd_dump,
+    "lint": _cmd_lint,
 }
 
 

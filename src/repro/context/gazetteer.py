@@ -10,7 +10,7 @@ locationing process itself").
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..lod.world import CITIES, POIS, CityInfo, PoiInfo
 from ..lod.geonames import geonames_uri

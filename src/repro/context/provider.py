@@ -13,17 +13,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..rdf.namespace import TL_USER
-from ..rdf.terms import URIRef
 from ..sparql.geo import Point, haversine_km
 from .gazetteer import Gazetteer
-from .models import (
-    Buddy,
-    CalendarEntry,
-    CivicAddress,
-    GsmCell,
-    LocationContext,
-    UserContext,
-)
+from .models import Buddy, CalendarEntry, GsmCell, LocationContext, UserContext
 from .triple_tags import TripleTag
 
 #: Radius within which another user counts as a "nearby buddy".

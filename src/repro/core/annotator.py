@@ -29,7 +29,7 @@ from ..nlp.morpho import MorphologicalAnalyzer
 from ..nlp.termfreq import relevant_words
 from ..resolvers.base import Candidate
 from ..resolvers.broker import BrokerResult, SemanticBroker
-from .filtering import FilterOutcome, Reason, SemanticFilter
+from .filtering import FilterOutcome, SemanticFilter
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ off. Failures are isolated per item and reported, never fatal.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..rdf.graph import Graph
 from ..rdf.namespace import DCTERMS

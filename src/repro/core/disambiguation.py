@@ -16,7 +16,7 @@ ambiguity automatically next time.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..rdf.terms import URIRef

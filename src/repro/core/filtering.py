@@ -39,7 +39,6 @@ from ..resolvers.base import (
     GRAPH_DBPEDIA,
     GRAPH_EVRI,
     GRAPH_GEONAMES,
-    GRAPH_OTHER,
 )
 from ..resolvers.evri import build_evri_graph
 

@@ -23,7 +23,7 @@ from ..context.models import Buddy, UserContext
 from ..context.triple_tags import TripleTag
 from ..lod.datasets import LodCorpus
 from ..lod.world import PoiInfo
-from ..rdf.graph import Graph, Triple
+from ..rdf.graph import Triple
 from ..rdf.namespace import DBPO, FOAF, OWL, RDF, TL_USER
 from ..rdf.terms import Literal, URIRef
 from ..resolvers.sindice import SindiceResolver

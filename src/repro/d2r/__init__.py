@@ -1,6 +1,6 @@
 """D2R-style relational→RDF lifting (paper §2.1)."""
 
-from .dump import dump_graph, dump_ntriples, dump_triples
+from .dump import dump_graph, dump_ntriples, dump_triples, validate_mapping
 from .mapping import (
     D2RMapping,
     KeywordSplitMap,
@@ -24,4 +24,5 @@ __all__ = [
     "dump_ntriples",
     "dump_triples",
     "literal_for",
+    "validate_mapping",
 ]

@@ -22,8 +22,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping as TMapping, Optional
 
-from ..rdf.terms import Literal, URIRef, XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER
-from ..relational.table import ColumnType, Row
+from ..rdf.terms import Literal, URIRef, XSD_INTEGER
+from ..relational.table import ColumnType
 
 _PLACEHOLDER_RE = re.compile(r"\{([A-Za-z_][A-Za-z0-9_]*)\}")
 
@@ -104,6 +104,11 @@ class TableMap:
     properties: List[PropertyMap] = field(default_factory=list)
     links: List[LinkMap] = field(default_factory=list)
     keyword_splits: List[KeywordSplitMap] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # accept a bare template string for the common case
+        if isinstance(self.uri_pattern, str):
+            self.uri_pattern = UriPattern(self.uri_pattern)
 
     def uri_for(self, row: TMapping[str, Any]) -> URIRef:
         return self.uri_pattern.expand(row)

@@ -7,7 +7,7 @@ object / published) and timelines can be merged across nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
 
 VERBS = frozenset({"post", "share", "like", "follow", "tag", "comment"})

@@ -12,7 +12,7 @@ verification), and publishing fans the payload out synchronously —
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 

@@ -12,7 +12,7 @@ notifications.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 class UpnpError(Exception):

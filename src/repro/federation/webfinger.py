@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 _ACCT_RE = re.compile(r"^(?:acct:)?([A-Za-z0-9._-]+)@([A-Za-z0-9.-]+)$")
 

@@ -11,7 +11,7 @@ that property and discards such candidates).
 from __future__ import annotations
 
 from ..rdf.graph import Graph
-from ..rdf.namespace import DBPO, DBPR, FOAF, GEO, OWL, RDF, RDFS
+from ..rdf.namespace import DBPO, DBPR, FOAF, GEO, RDF, RDFS
 from ..rdf.terms import Literal, URIRef
 from ..sparql.geo import Point
 from .world import (

@@ -18,7 +18,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from .profiles import SAMPLE_TEXT, SUPPORTED_LANGUAGES
+from .profiles import SAMPLE_TEXT
 
 _WORD_RE = re.compile(r"[^\W\d_]+", re.UNICODE)
 

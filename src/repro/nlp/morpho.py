@@ -101,7 +101,9 @@ class MorphologicalAnalyzer:
         merged = self._merge_multiwords(raw)
         return [self._classify(item) for item in merged]
 
-    def proper_nouns(self, text: str, min_score: float = 0.2) -> List[AnalyzedToken]:
+    def proper_nouns(
+        self, text: str, min_score: float = 0.2
+    ) -> List[AnalyzedToken]:
         """Non-numeric NP lemmas with ``np_score >= min_score`` — exactly
         the filtering step of the paper's pipeline."""
         return [

@@ -11,7 +11,7 @@ so the dispatch logic is actually exercised.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .models import ContentItem, MediaType

@@ -16,9 +16,8 @@ Integration point of the substrates:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..context.models import UserContext
 from ..context.provider import ContextPlatform
 from ..context.triple_tags import TripleTag, split_tags
 from ..core.annotator import AnnotationResult, SemanticAnnotator
@@ -26,13 +25,11 @@ from ..core.location import LocationAnalyzer
 from ..d2r.dump import dump_graph, dump_ntriples
 from ..lod.datasets import LodCorpus, build_lod_corpus
 from ..rdf.graph import Dataset, Graph
-from ..rdf.namespace import DCTERMS, TL_PID
-from ..rdf.terms import URIRef
+from ..rdf.namespace import DCTERMS
 from ..relational.database import Database
 from ..sparql.evaluator import Evaluator
-from ..sparql.geo import Point
 from .crosspost import CrossPoster, default_crossposter
-from .models import Capture, ContentItem, MediaType, PlatformUser
+from .models import Capture, ContentItem, PlatformUser
 from .vocab import TLV, platform_mapping
 
 _SCHEMA = [

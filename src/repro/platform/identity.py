@@ -14,7 +14,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 
 class OpenIdError(Exception):

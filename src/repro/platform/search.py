@@ -12,7 +12,7 @@ geo-located near it. Results can be filtered by the user's own position
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set
 
 from ..rdf.namespace import DCTERMS, GEO, GN, RDFS
 from ..rdf.terms import Literal, Term, URIRef

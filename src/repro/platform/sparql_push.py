@@ -11,8 +11,8 @@ clients learn about new matching content without polling.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from ..federation.pubsub import Hub
 from ..rdf.graph import Graph

@@ -21,7 +21,7 @@ from typing import (
 )
 
 from .namespace import NamespaceManager, RDF
-from .terms import BNode, Literal, Term, URIRef, term_from_python
+from .terms import Literal, Term, URIRef, term_from_python
 
 #: A triple of concrete terms.
 Triple = Tuple[Term, Term, Term]
@@ -243,7 +243,9 @@ class Graph:
             return o
         return default
 
-    def label(self, subject: Term, lang: Optional[str] = None) -> Optional[Literal]:
+    def label(
+        self, subject: Term, lang: Optional[str] = None
+    ) -> Optional[Literal]:
         """Return an ``rdfs:label`` of ``subject``, preferring ``lang``."""
         from .namespace import RDFS
 
@@ -331,7 +333,9 @@ class Dataset:
             else URIRef(str(identifier))
         )
         if identifier not in self._named:
-            self._named[identifier] = Graph(identifier, self.default.namespaces)
+            self._named[identifier] = Graph(
+                identifier, self.default.namespaces
+            )
         return self._named[identifier]
 
     def remove_graph(self, identifier: Any) -> bool:

@@ -21,7 +21,7 @@ Virtuoso deployments of the era commonly used for query-time speed).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from .graph import Graph, Triple
 from .namespace import RDF, RDFS

@@ -1,7 +1,8 @@
 """Namespaces and the vocabularies used by the platform.
 
 A :class:`Namespace` builds :class:`~repro.rdf.terms.URIRef` terms by
-attribute or item access (``FOAF.name`` → ``<http://xmlns.com/foaf/0.1/name>``).
+attribute or item access (``FOAF.name`` →
+``<http://xmlns.com/foaf/0.1/name>``).
 The bundled vocabularies are exactly the ones the paper's queries use:
 RDF/RDFS, FOAF, W3C geo, SIOC types, the ``rev`` review vocabulary, the COMM
 multimedia ontology, DBpedia ontology, LinkedGeoData ontology and Geonames.

@@ -12,7 +12,7 @@ import re
 from pathlib import Path
 from typing import Iterator, Optional, Tuple, Union
 
-from .graph import Dataset, Graph
+from .graph import Dataset
 from .ntriples import NTriplesError, parse_ntriples_line
 from .terms import Term, URIRef, unescape_literal
 

@@ -239,7 +239,8 @@ class _TurtleParser:
             return Literal(lexical)
         if kind == "number":
             if "." in value or "e" in value or "E" in value:
-                dtype = XSD_DOUBLE if ("e" in value or "E" in value) else XSD_DECIMAL
+                is_double = "e" in value or "E" in value
+                dtype = XSD_DOUBLE if is_double else XSD_DECIMAL
                 return Literal(value, datatype=dtype)
             return Literal(value, datatype=XSD_INTEGER)
         if kind == "keyword" and value in ("true", "false"):

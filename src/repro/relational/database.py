@@ -8,14 +8,14 @@ unmatched left rows with NULLs.
 
 from __future__ import annotations
 
-import fnmatch
 import re
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple,
+)
 
 from .errors import IntegrityError, SchemaError, SqlSyntaxError
 from .sql import (
     And,
-    ColumnDef,
     ColumnRef,
     Comparison,
     CreateTable,
@@ -27,8 +27,6 @@ from .sql import (
     Not,
     Or,
     Select,
-    SelectItem,
-    Statement,
     Update,
     Value,
     parse_sql,

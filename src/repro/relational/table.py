@@ -10,7 +10,7 @@ paper).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .errors import IntegrityError, SchemaError, TypeMismatchError

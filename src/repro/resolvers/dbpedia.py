@@ -22,9 +22,9 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..nlp.similarity import jaro_winkler_ci
 from ..rdf.graph import Graph
-from ..rdf.namespace import DBPO, RDF, RDFS
+from ..rdf.namespace import RDF, RDFS
 from ..rdf.terms import Literal, URIRef
-from ..sparql.fulltext import FullTextIndex, tokenize_text
+from ..sparql.fulltext import FullTextIndex
 from ..lod.dbpedia import follow_redirect, is_disambiguation_page
 from .base import Candidate, Resolver
 

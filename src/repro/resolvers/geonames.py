@@ -10,10 +10,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..nlp.similarity import jaro_winkler_ci
 from ..rdf.graph import Graph
 from ..rdf.namespace import GN
-from ..rdf.terms import Literal, URIRef
+from ..rdf.terms import Literal
 from .base import Candidate, Resolver
 
 

@@ -16,7 +16,7 @@ from typing import Iterable, List, Optional
 from ..nlp.similarity import jaro_winkler_ci
 from ..rdf.graph import Graph
 from ..rdf.namespace import GN, RDFS
-from ..rdf.terms import Literal, URIRef
+from ..rdf.terms import Literal
 from ..sparql.fulltext import FullTextIndex
 from .base import Candidate, Resolver
 

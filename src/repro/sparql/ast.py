@@ -9,7 +9,7 @@ the query subset we support).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..rdf.terms import Term, Variable
 
@@ -218,6 +218,11 @@ class SelectQuery:
     offset: int = 0
     group_by: List[Expression] = field(default_factory=list)
     aggregates: List["AggregateBinding"] = field(default_factory=list)
+    #: prefixes declared in the prologue (top-level queries only).
+    prefixes: Dict[str, str] = field(default_factory=dict)
+    #: prefixes that resolved via the DEFAULT_PREFIXES fallback —
+    #: prefix name → source offset of first use (linter rule SP003).
+    fallback_prefixes: Dict[str, int] = field(default_factory=dict)
 
     form = "SELECT"
 
@@ -235,6 +240,8 @@ class AggregateBinding:
 @dataclass
 class AskQuery:
     where: GroupPattern
+    prefixes: Dict[str, str] = field(default_factory=dict)
+    fallback_prefixes: Dict[str, int] = field(default_factory=dict)
 
     form = "ASK"
 
@@ -245,6 +252,8 @@ class ConstructQuery:
     where: GroupPattern
     limit: Optional[int] = None
     offset: int = 0
+    prefixes: Dict[str, str] = field(default_factory=dict)
+    fallback_prefixes: Dict[str, int] = field(default_factory=dict)
 
     form = "CONSTRUCT"
 
@@ -255,6 +264,8 @@ class DescribeQuery:
 
     terms: List[PatternTerm]
     where: Optional[GroupPattern] = None
+    prefixes: Dict[str, str] = field(default_factory=dict)
+    fallback_prefixes: Dict[str, int] = field(default_factory=dict)
 
     form = "DESCRIBE"
 

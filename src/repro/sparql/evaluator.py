@@ -17,8 +17,7 @@ rejects the solution; an ORDER BY key that errors sorts lowest.
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..rdf.graph import Dataset, Graph
 from ..rdf.terms import BNode, Literal, Term, URIRef, Variable
@@ -44,7 +43,6 @@ from .ast import (
     OptionalPattern,
     OrExpr,
     PatternNode,
-    Query,
     SelectQuery,
     SubSelectPattern,
     TermExpr,
@@ -70,12 +68,20 @@ class Evaluator:
 
     ``functions`` extends/overrides the builtin function registry — this is
     how deployments register extra ``bif:`` style extensions.
+
+    With ``strict=True`` every query is linted before evaluation
+    (:class:`repro.analysis.SparqlLinter`) and evaluation refuses to run
+    when error-severity diagnostics are found, raising
+    :class:`repro.analysis.AnalysisError`. ``linter`` overrides the
+    default linter instance (e.g. to supply a custom vocabulary).
     """
 
     def __init__(
         self,
         graph,
         functions: Optional[Dict[str, object]] = None,
+        strict: bool = False,
+        linter=None,
     ) -> None:
         if isinstance(graph, Dataset):
             # Virtuoso-style: the default graph for plain BGPs is the
@@ -88,6 +94,8 @@ class Evaluator:
         self.functions = dict(FUNCTIONS)
         if functions:
             self.functions.update(functions)
+        self.strict = strict
+        self._linter = linter
 
     # ------------------------------------------------------------------
     # Entry points
@@ -100,6 +108,8 @@ class Evaluator:
         """
         if isinstance(query, str):
             query = parse_query(query)
+        if self.strict:
+            self._lint(query)
         if isinstance(query, SelectQuery):
             return self._eval_select(query)
         if isinstance(query, AskQuery):
@@ -109,6 +119,21 @@ class Evaluator:
         if isinstance(query, DescribeQuery):
             return self._eval_describe(query)
         raise SparqlEvalError(f"unsupported query form: {query!r}")
+
+    def _lint(self, query) -> None:
+        """Strict mode: refuse to evaluate queries with error diagnostics."""
+        # imported lazily — repro.analysis pulls in vocabulary sources
+        # that themselves build evaluators.
+        from ..analysis import AnalysisError, Severity, SparqlLinter
+
+        if self._linter is None:
+            self._linter = SparqlLinter.default()
+        errors = [
+            d for d in self._linter.lint(query)
+            if d.severity is Severity.ERROR
+        ]
+        if errors:
+            raise AnalysisError(errors)
 
     # ------------------------------------------------------------------
     # SELECT

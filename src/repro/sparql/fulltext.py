@@ -14,10 +14,10 @@ from __future__ import annotations
 
 import re
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..rdf.graph import Graph
-from ..rdf.terms import Literal, Term, URIRef
+from ..rdf.terms import Literal, Term
 
 _WORD_RE = re.compile(r"[\w']+", re.UNICODE)
 

@@ -13,14 +13,13 @@ which FILTER evaluation treats as "false" and ORDER BY treats as lowest.
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from ..rdf.terms import (
     BNode,
     Literal,
     Term,
     URIRef,
-    Variable,
     XSD_BOOLEAN,
     XSD_DECIMAL,
     XSD_DOUBLE,

@@ -89,7 +89,9 @@ def haversine_km(a: Point, b: Point) -> float:
     return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
 
 
-def st_distance(a: Union[str, Term, Point], b: Union[str, Term, Point]) -> float:
+def st_distance(
+    a: Union[str, Term, Point], b: Union[str, Term, Point]
+) -> float:
     """``bif:st_distance`` — distance in kilometers."""
     return haversine_km(parse_point(a), parse_point(b))
 

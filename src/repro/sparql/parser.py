@@ -86,6 +86,9 @@ class Parser:
         self.tokens = tokenize(query)
         self.pos = 0
         self.prefixes: Dict[str, str] = {}
+        #: prefixes resolved via DEFAULT_PREFIXES rather than the
+        #: prologue: prefix name → source offset of first use.
+        self.fallback_used: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Token helpers
@@ -158,6 +161,8 @@ class Parser:
             raise SparqlSyntaxError(
                 f"unexpected trailing input: {tail.text!r}", tail.pos
             )
+        query.prefixes = dict(self.prefixes)
+        query.fallback_prefixes = dict(self.fallback_used)
         return query
 
     def _parse_prologue(self) -> None:
@@ -193,6 +198,7 @@ class Parser:
         if prefix in self.prefixes:
             return URIRef(self.prefixes[prefix] + local)
         if prefix in DEFAULT_PREFIXES:
+            self.fallback_used.setdefault(prefix, pos)
             return URIRef(DEFAULT_PREFIXES[prefix] + local)
         raise SparqlSyntaxError(f"unknown prefix {prefix!r}", pos)
 

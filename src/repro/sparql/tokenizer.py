@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 from .errors import SparqlSyntaxError
 
@@ -32,13 +32,15 @@ _TOKEN_RE = re.compile(
   | (?P<var>[?$][A-Za-z_][A-Za-z0-9_]*)
   | (?P<string>"""
     + r'"""(?:[^"\\]|\\.|"(?!""))*"""'
-    + r"""|'''(?:[^'\\]|\\.|'(?!''))*'''|"(?:[^"\\\n]|\\.)*"|'(?:[^'\\\n]|\\.)*')
+    + r"""|'''(?:[^'\\]|\\.|'(?!''))*'''"""
+    + r"""|"(?:[^"\\\n]|\\.)*"|'(?:[^'\\\n]|\\.)*')
   | (?P<langtag>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
   | (?P<dtype>\^\^)
   | (?P<number>[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
   | (?P<op><=|>=|!=|&&|\|\||[=<>!+\-*/])
   | (?P<punct>[{}()\[\].,;])
-  | (?P<pname>[A-Za-z_][A-Za-z0-9_.\-]*?:[A-Za-z0-9_][A-Za-z0-9_.\-]*|[A-Za-z_][A-Za-z0-9_.\-]*?:(?![/]))
+  | (?P<pname>[A-Za-z_][A-Za-z0-9_.\-]*?:[A-Za-z0-9_][A-Za-z0-9_.\-]*
+        |[A-Za-z_][A-Za-z0-9_.\-]*?:(?![/]))
   | (?P<bnode>_:[A-Za-z0-9][A-Za-z0-9._\-]*)
   | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
     """,

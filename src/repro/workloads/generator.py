@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from ..lod.world import CITIES, POIS, CityInfo
+from ..lod.world import CITIES, POIS
 from ..platform.models import Capture
 from ..sparql.geo import Point
 

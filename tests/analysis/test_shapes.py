@@ -1,0 +1,106 @@
+"""Graph shape checker tests — SH001–SH004."""
+
+import pytest
+
+from repro.analysis import ShapeChecker
+from repro.analysis.diagnostics import Severity
+from repro.rdf import FOAF, GEO, Graph, Literal, RDF, RDFS, URIRef
+
+ALICE = URIRef("http://e/alice")
+BOB = URIRef("http://e/bob")
+PIC = URIRef("http://e/pic/1")
+AGENT = URIRef("http://xmlns.com/foaf/0.1/Agent")
+
+
+@pytest.fixture
+def ontology():
+    graph = Graph()
+    graph.add((FOAF.knows, RDFS.domain, FOAF.Person))
+    graph.add((FOAF.knows, RDFS.range, FOAF.Person))
+    graph.add((FOAF.Person, RDFS.subClassOf, AGENT))
+    return graph
+
+
+def check(ontology, graph, cardinalities=None):
+    checker = ShapeChecker(ontology, cardinalities=cardinalities)
+    return checker.check(graph, name="test-graph")
+
+
+def only(diags, rule):
+    matching = [d for d in diags if d.rule == rule]
+    assert len(matching) == 1, f"expected one {rule}, got {diags}"
+    return matching[0]
+
+
+def test_conforming_graph_is_clean(ontology):
+    graph = Graph()
+    graph.add((ALICE, RDF.type, FOAF.Person))
+    graph.add((BOB, RDF.type, FOAF.Person))
+    graph.add((ALICE, FOAF.knows, BOB))
+    assert check(ontology, graph) == []
+
+
+def test_sh001_domain_violation(ontology):
+    graph = Graph()
+    graph.add((PIC, RDF.type, URIRef("http://e/Picture")))
+    graph.add((BOB, RDF.type, FOAF.Person))
+    graph.add((PIC, FOAF.knows, BOB))
+    diag = only(check(ontology, graph), "SH001")
+    assert diag.severity is Severity.WARNING
+    assert "domain" in diag.message
+
+
+def test_sh001_superclass_satisfies_domain():
+    # domain declared on the *superclass*: instances of the subclass pass
+    ontology = Graph()
+    ontology.add((FOAF.knows, RDFS.domain, AGENT))
+    ontology.add((FOAF.Person, RDFS.subClassOf, AGENT))
+    graph = Graph()
+    graph.add((ALICE, RDF.type, FOAF.Person))
+    graph.add((ALICE, FOAF.knows, BOB))
+    assert check(ontology, graph) == []
+
+
+def test_sh002_literal_in_object_position(ontology):
+    graph = Graph()
+    graph.add((ALICE, RDF.type, FOAF.Person))
+    graph.add((ALICE, FOAF.knows, Literal("bob")))
+    diag = only(check(ontology, graph), "SH002")
+    assert diag.severity is Severity.WARNING
+    assert "'bob'" in diag.message
+
+
+def test_sh002_typed_object_outside_range(ontology):
+    graph = Graph()
+    graph.add((ALICE, RDF.type, FOAF.Person))
+    graph.add((PIC, RDF.type, URIRef("http://e/Picture")))
+    graph.add((ALICE, FOAF.knows, PIC))
+    diag = only(check(ontology, graph), "SH002")
+    assert "range" in diag.message
+
+
+def test_sh002_untyped_object_passes_open_world(ontology):
+    graph = Graph()
+    graph.add((ALICE, RDF.type, FOAF.Person))
+    graph.add((ALICE, FOAF.knows, BOB))  # BOB untyped
+    assert check(ontology, graph) == []
+
+
+def test_sh003_cardinality_exceeded(ontology):
+    graph = Graph()
+    graph.add((PIC, GEO.geometry, Literal("POINT(7.69 45.07)")))
+    graph.add((PIC, GEO.geometry, Literal("POINT(12.49 41.89)")))
+    diag = only(
+        check(ontology, graph, cardinalities={str(GEO.geometry): 1}),
+        "SH003",
+    )
+    assert diag.severity is Severity.WARNING
+    assert "declared max 1" in diag.message
+
+
+def test_sh004_untyped_subject(ontology):
+    graph = Graph()
+    graph.add((BOB, RDF.type, FOAF.Person))
+    graph.add((ALICE, FOAF.knows, BOB))  # ALICE untyped
+    diag = only(check(ontology, graph), "SH004")
+    assert diag.severity is Severity.INFO
