@@ -64,3 +64,15 @@ def sized_platform(request):
 @pytest.fixture(scope="session")
 def small_platform():
     return build_platform(100)
+
+
+@pytest.fixture(scope="session", params=SIZES, ids=lambda n: f"n{n}")
+def sized_union_graph(request):
+    """``(size, union graph)`` built once per size.
+
+    Sharing one graph object means the planner's statistics snapshot
+    (cached on the graph) is collected once and reused by every
+    evaluator, mirroring a long-lived deployment.
+    """
+    platform = build_platform(request.param)
+    return request.param, platform.union_graph()

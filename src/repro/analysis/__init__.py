@@ -10,7 +10,9 @@ emits nothing). This package is the correctness gate in front of that:
 * :class:`MappingLinter` — D2R table maps vs. the relational schema;
 * :class:`ShapeChecker` — domain/range/cardinality validation of graphs;
 * :func:`self_check` — all of the above over the paper's own artifacts
-  (``repro lint --self-check``).
+  (``repro lint --self-check``);
+* :class:`QueryPlanner` — static algebra analysis and selectivity-driven
+  rewrites behind ``Evaluator(optimize=True)`` and ``repro explain``.
 """
 
 from .d2r_lint import MappingLinter
@@ -21,6 +23,13 @@ from .diagnostics import (
     Severity,
     Span,
 )
+from .plan import (
+    DEFAULT_PASSES,
+    Explanation,
+    PlannedQuery,
+    QueryPlanner,
+    explain,
+)
 from .rules import RULES, Rule, rule
 from .self_check import (
     builtin_queries,
@@ -30,6 +39,7 @@ from .self_check import (
 )
 from .shapes import DEFAULT_CARDINALITIES, ShapeChecker
 from .sparql_lint import SparqlLinter
+from .stats import GraphStatistics
 from .vocabulary import (
     SUGGESTION_THRESHOLD,
     VocabularyIndex,
@@ -39,9 +49,14 @@ from .vocabulary import (
 __all__ = [
     "AnalysisError",
     "DEFAULT_CARDINALITIES",
+    "DEFAULT_PASSES",
     "Diagnostic",
     "DiagnosticReport",
+    "Explanation",
+    "GraphStatistics",
     "MappingLinter",
+    "PlannedQuery",
+    "QueryPlanner",
     "RULES",
     "Rule",
     "SUGGESTION_THRESHOLD",
@@ -52,6 +67,7 @@ __all__ = [
     "VocabularyIndex",
     "builtin_queries",
     "default_vocabulary",
+    "explain",
     "extract_sparql_strings",
     "lint_path",
     "rule",

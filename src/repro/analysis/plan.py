@@ -1,0 +1,1255 @@
+"""Static query planner: rewrite passes over the SPARQL algebra.
+
+The planner lowers a parsed query (:func:`repro.sparql.algebra`) and
+runs a pipeline of *pure* algebra→algebra passes, each of which may also
+emit :class:`~repro.analysis.diagnostics.Diagnostic` records — the
+planner *is* a static analyzer whose findings double as rewrites:
+
+==========  ============================================================
+SP010       constant FILTER expression folded at plan time
+SP011       FILTER pushed down into the BGP binding its variables
+SP012       triple patterns / join elements reordered by selectivity
+SP013       join order forces a cartesian product
+SP014       provably empty pattern pruned (contradictory FILTERs,
+            predicates absent from the data, empty UNION branches)
+SP015       redundant DISTINCT eliminated
+SP016       redundant ORDER BY eliminated
+==========  ============================================================
+
+Soundness notes (why each rewrite preserves the naive evaluator's
+result multiset) are documented on the individual passes. Passes never
+mutate the input AST — plan nodes reference the parser's frozen
+expressions and triple patterns, and rewrites rebuild plan structure
+only.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.terms import Variable
+from ..sparql.algebra import (
+    AggregateNode,
+    BGPNode,
+    DistinctNode,
+    EmptyNode,
+    ExtendNode,
+    FilterNode,
+    GraphNode,
+    JoinNode,
+    LeftJoinNode,
+    OrderNode,
+    PlanNode,
+    ProjectNode,
+    ScanStep,
+    SliceNode,
+    SubSelectNode,
+    UnionNode,
+    ValuesNode,
+    lower_query,
+    render_expression,
+    render_plan,
+)
+from ..sparql.ast import (
+    AndExpr,
+    ArithExpr,
+    CompareExpr,
+    ExistsExpr,
+    Expression,
+    FunctionCall,
+    InExpr,
+    NegExpr,
+    NotExpr,
+    OrExpr,
+    Query,
+    SelectQuery,
+    TermExpr,
+)
+from .diagnostics import Diagnostic
+from .rules import make
+from .sparql_lint import (
+    _expr_vars,
+    _flatten_and,
+    _function_calls,
+    _interval_contradiction,
+    _statically_false,
+)
+from .stats import GraphStatistics
+
+#: Magic predicates are constraints, not scans — they bind nothing and
+#: require their subject bound before they run.
+_MAGIC = "bif:contains"
+
+#: Function names whose value depends on more than their arguments; a
+#: filter calling one of these is never folded or pushed.
+_BOUNDNESS_SENSITIVE = frozenset({"BOUND", "COALESCE"})
+
+
+class _PassContext:
+    """Shared state threaded through one planning run."""
+
+    def __init__(
+        self,
+        stats: Optional[GraphStatistics],
+        functions: Optional[Dict[str, object]],
+        name: Optional[str],
+    ) -> None:
+        self.stats = stats
+        self.functions = functions
+        self.name = name
+        self.diagnostics: List[Diagnostic] = []
+        self._fold_evaluator = None
+
+    def diag(self, rule_id: str, message: str) -> None:
+        self.diagnostics.append(
+            make(rule_id, message, source=self.name)
+        )
+
+    def fold_evaluator(self):
+        """A throwaway evaluator for constant-expression evaluation."""
+        if self._fold_evaluator is None:
+            from ..rdf.graph import Graph
+            from ..sparql.evaluator import Evaluator
+
+            self._fold_evaluator = Evaluator(
+                Graph(), functions=self.functions, optimize=False
+            )
+        return self._fold_evaluator
+
+
+Pass = Callable[[PlanNode, _PassContext], PlanNode]
+
+
+# ---------------------------------------------------------------------------
+# Pass: constant folding (SP010)
+# ---------------------------------------------------------------------------
+
+
+def fold_constants(root: PlanNode, ctx: _PassContext) -> PlanNode:
+    """Evaluate variable-free (sub)expressions of FILTERs at plan time.
+
+    Sound because every supported function is deterministic: a subtree
+    mentioning no variables evaluates to the same term for every
+    solution. A filter folding to false (or to an error) rejects every
+    solution, so its group becomes :class:`EmptyNode`.
+    """
+
+    def fold_filter(expr: Expression) -> Tuple[Expression, str]:
+        """Returns (expression, verdict): verdict in keep/true/false."""
+        folded, changed = _fold_expression(expr, ctx)
+        if not _expr_vars(folded) and not _contains_exists(folded):
+            verdict = _constant_truth(folded, ctx)
+            if verdict is not None:
+                return folded, "true" if verdict else "false"
+        if changed:
+            return folded, "folded"
+        return expr, "keep"
+
+    def rewrite(node: PlanNode) -> PlanNode:
+        if isinstance(node, JoinNode):
+            elements: List[PlanNode] = []
+            for element in node.elements:
+                element = rewrite(element)
+                if isinstance(element, FilterNode):
+                    folded, verdict = fold_filter(element.expression)
+                    if verdict == "true":
+                        ctx.diag(
+                            "SP010",
+                            "FILTER "
+                            f"{render_expression(element.expression)} "
+                            "is constant true — removed",
+                        )
+                        continue
+                    if verdict == "false":
+                        ctx.diag(
+                            "SP010",
+                            "FILTER "
+                            f"{render_expression(element.expression)} "
+                            "is constant false — group is empty",
+                        )
+                        elements.append(
+                            EmptyNode("constant-false FILTER")
+                        )
+                        continue
+                    if verdict == "folded":
+                        ctx.diag(
+                            "SP010",
+                            "constant subexpression folded in FILTER "
+                            f"{render_expression(element.expression)}",
+                        )
+                        element = FilterNode(folded)
+                elements.append(element)
+            return JoinNode(elements)
+        return _rewrite_children(node, rewrite)
+
+    return rewrite(root)
+
+
+def _fold_expression(
+    expr: Expression, ctx: _PassContext
+) -> Tuple[Expression, bool]:
+    """Bottom-up fold; returns (expression, changed)."""
+    if isinstance(expr, TermExpr) or isinstance(expr, ExistsExpr):
+        return expr, False
+
+    rebuilt, changed = _rebuild_operands(expr, ctx)
+    if (
+        not isinstance(rebuilt, TermExpr)
+        and not _expr_vars(rebuilt)
+        and not _contains_exists(rebuilt)
+        and not any(
+            c.name in _BOUNDNESS_SENSITIVE
+            for c in _function_calls(rebuilt)
+        )
+    ):
+        from ..sparql.errors import ExpressionError, SparqlEvalError
+
+        try:
+            value = ctx.fold_evaluator()._eval_expression(rebuilt, {})
+            return TermExpr(value), True
+        except (ExpressionError, SparqlEvalError):
+            pass  # leave for runtime (same error → filter rejects)
+    return rebuilt, changed
+
+
+def _rebuild_operands(
+    expr: Expression, ctx: _PassContext
+) -> Tuple[Expression, bool]:
+    def fold(sub: Expression) -> Tuple[Expression, bool]:
+        return _fold_expression(sub, ctx)
+
+    if isinstance(expr, (OrExpr, AndExpr)):
+        pairs = [fold(operand) for operand in expr.operands]
+        if any(changed for _, changed in pairs):
+            operands = tuple(e for e, _ in pairs)
+            return type(expr)(operands), True
+        return expr, False
+    if isinstance(expr, (NotExpr, NegExpr)):
+        inner, changed = fold(expr.operand)
+        return (type(expr)(inner), True) if changed else (expr, False)
+    if isinstance(expr, (CompareExpr, ArithExpr)):
+        left, lc = fold(expr.left)
+        right, rc = fold(expr.right)
+        if lc or rc:
+            return type(expr)(expr.op, left, right), True
+        return expr, False
+    if isinstance(expr, InExpr):
+        operand, oc = fold(expr.operand)
+        pairs = [fold(choice) for choice in expr.choices]
+        if oc or any(changed for _, changed in pairs):
+            choices = tuple(e for e, _ in pairs)
+            return InExpr(operand, choices, expr.negated), True
+        return expr, False
+    if isinstance(expr, FunctionCall):
+        pairs = [fold(arg) for arg in expr.args]
+        if any(changed for _, changed in pairs):
+            args = tuple(e for e, _ in pairs)
+            return FunctionCall(expr.name, args), True
+        return expr, False
+    return expr, False
+
+
+def _constant_truth(
+    expr: Expression, ctx: _PassContext
+) -> Optional[bool]:
+    """Effective boolean value of a variable-free expression."""
+    from ..sparql.errors import ExpressionError, SparqlEvalError
+    from ..sparql.functions import ebv
+
+    try:
+        value = ctx.fold_evaluator()._eval_expression(expr, {})
+        return bool(ebv(value))
+    except ExpressionError:
+        return False  # an erroring FILTER rejects every solution
+    except SparqlEvalError:
+        return None  # unknown function: leave for the real evaluator
+
+
+def _contains_exists(expr: Expression) -> bool:
+    if isinstance(expr, ExistsExpr):
+        return True
+    if isinstance(expr, (OrExpr, AndExpr)):
+        return any(_contains_exists(o) for o in expr.operands)
+    if isinstance(expr, (NotExpr, NegExpr)):
+        return _contains_exists(expr.operand)
+    if isinstance(expr, (CompareExpr, ArithExpr)):
+        return _contains_exists(expr.left) or _contains_exists(
+            expr.right
+        )
+    if isinstance(expr, InExpr):
+        return _contains_exists(expr.operand) or any(
+            _contains_exists(c) for c in expr.choices
+        )
+    if isinstance(expr, FunctionCall):
+        return any(_contains_exists(a) for a in expr.args)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Pass: unsatisfiable-pattern pruning (SP014)
+# ---------------------------------------------------------------------------
+
+
+def prune_unsatisfiable(root: PlanNode, ctx: _PassContext) -> PlanNode:
+    """Prune patterns that provably yield no solutions.
+
+    * contradictory FILTER conjunctions over one variable
+      (``?x > 5 && ?x < 3``) — reusing the SP007 interval machinery;
+    * scans whose concrete predicate (or ``rdf:type`` class) has zero
+      triples in the statistics snapshot — sound because statistics are
+      collected from the very graph the query will run against;
+    * empty UNION branches are dropped; a join containing an empty
+      element is itself empty; ``OPTIONAL {}``-empty is the identity.
+
+    Aggregation is the one non-monotone modifier: an empty input still
+    produces a row (``COUNT() = 0``), so emptiness is never propagated
+    through :class:`AggregateNode`.
+    """
+
+    def rewrite(node: PlanNode) -> PlanNode:
+        if isinstance(node, JoinNode):
+            elements = [rewrite(e) for e in node.elements]
+            conjuncts: List[Expression] = []
+            for element in elements:
+                if isinstance(element, FilterNode):
+                    conjuncts.extend(_flatten_and(element.expression))
+                elif isinstance(element, BGPNode):
+                    for expr in element.pushed:
+                        conjuncts.extend(_flatten_and(expr))
+                    for scan in element.scans:
+                        for expr in scan.filters:
+                            conjuncts.extend(_flatten_and(expr))
+            for conjunct in conjuncts:
+                if _statically_false(conjunct):
+                    ctx.diag(
+                        "SP014",
+                        "group pruned: FILTER "
+                        f"{render_expression(conjunct)} is always "
+                        "false",
+                    )
+                    return EmptyNode("always-false FILTER")
+            contradiction = _interval_contradiction(conjuncts)
+            if contradiction is not None:
+                ctx.diag(
+                    "SP014",
+                    f"group pruned: contradictory bounds on "
+                    f"?{contradiction}",
+                )
+                return EmptyNode(
+                    f"contradictory bounds on ?{contradiction}"
+                )
+
+            pruned: List[PlanNode] = []
+            for element in elements:
+                if isinstance(element, LeftJoinNode) and isinstance(
+                    element.group, EmptyNode
+                ):
+                    # left join with an empty right side is the identity
+                    continue
+                pruned.append(element)
+            for element in pruned:
+                if isinstance(element, EmptyNode):
+                    return element
+                if isinstance(element, (BGPNode, SubSelectNode)):
+                    empty = _element_emptiness(element, ctx)
+                    if empty is not None:
+                        return empty
+            return JoinNode(pruned)
+
+        if isinstance(node, UnionNode):
+            branches = []
+            for branch in node.branches:
+                branch = rewrite(branch)
+                if isinstance(branch, EmptyNode):
+                    ctx.diag(
+                        "SP014",
+                        "empty UNION branch pruned "
+                        f"({branch.reason})",
+                    )
+                    continue
+                branches.append(branch)
+            if not branches:
+                return EmptyNode("all UNION branches empty")
+            if len(branches) == 1:
+                return branches[0]
+            return UnionNode(branches)
+
+        return _rewrite_children(node, rewrite)
+
+    return rewrite(root)
+
+
+def _element_emptiness(
+    element: PlanNode, ctx: _PassContext
+) -> Optional[EmptyNode]:
+    if isinstance(element, BGPNode):
+        if ctx.stats is None:
+            return None
+        from ..rdf.namespace import RDF
+        from ..rdf.terms import URIRef
+
+        for scan in element.scans:
+            predicate = scan.pattern.predicate
+            if isinstance(predicate, Variable):
+                continue
+            if str(predicate).startswith("bif:"):
+                continue
+            if ctx.stats.predicate_count(predicate) == 0:
+                ctx.diag(
+                    "SP014",
+                    f"pattern pruned: predicate <{predicate}> has no "
+                    "triples in the data",
+                )
+                return EmptyNode(f"no triples for <{predicate}>")
+            if (
+                predicate == RDF.type
+                and isinstance(scan.pattern.object, URIRef)
+                and ctx.stats.class_counts.get(
+                    scan.pattern.object, 0
+                ) == 0
+            ):
+                ctx.diag(
+                    "SP014",
+                    "pattern pruned: class "
+                    f"<{scan.pattern.object}> has no instances",
+                )
+                return EmptyNode(
+                    f"no instances of <{scan.pattern.object}>"
+                )
+        return None
+    if isinstance(element, SubSelectNode):
+        if _plan_certainly_empty(element.plan):
+            return EmptyNode("empty sub-select")
+    return None
+
+
+def _plan_certainly_empty(node: PlanNode) -> bool:
+    """True when a modifier chain provably yields zero rows."""
+    if isinstance(node, EmptyNode):
+        return True
+    if isinstance(node, AggregateNode):
+        return False  # COUNT over nothing still yields one row
+    if isinstance(
+        node, (ProjectNode, DistinctNode, OrderNode, SliceNode)
+    ):
+        return _plan_certainly_empty(node.children()[0])
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Pass: BGP merging
+# ---------------------------------------------------------------------------
+
+
+def merge_bgps(root: PlanNode, ctx: _PassContext) -> PlanNode:
+    """Merge *adjacent* BGPs into one conjunctive block.
+
+    Adjacent basic graph patterns form a single conjunction (joins of
+    triple patterns commute), so merging them gives the scan reorderer
+    a larger search space. Non-adjacent BGPs are left alone: an
+    intervening OPTIONAL / BIND is order-sensitive, and even a UNION
+    may bind a ``bif:contains`` subject the later BGP depends on.
+    """
+
+    def rewrite(node: PlanNode) -> PlanNode:
+        if isinstance(node, JoinNode):
+            elements: List[PlanNode] = []
+            for element in node.elements:
+                element = rewrite(element)
+                if (
+                    isinstance(element, BGPNode)
+                    and elements
+                    and isinstance(elements[-1], BGPNode)
+                ):
+                    previous = elements[-1]
+                    elements[-1] = BGPNode(
+                        previous.scans + element.scans,
+                        previous.pushed + element.pushed,
+                    )
+                    continue
+                elements.append(element)
+            return JoinNode(elements)
+        return _rewrite_children(node, rewrite)
+
+    return rewrite(root)
+
+
+# ---------------------------------------------------------------------------
+# Pass: FILTER pushdown (SP011)
+# ---------------------------------------------------------------------------
+
+
+def push_filters(root: PlanNode, ctx: _PassContext) -> PlanNode:
+    """Move group-level FILTERs into the BGP binding their variables.
+
+    Sound when every variable of the filter is *certainly* bound by one
+    BGP of the same group: once bound, no later element can rebind a
+    variable (joins merge compatibly, BIND refuses rebinding), so the
+    filter's value for a solution is fixed as soon as that BGP has run.
+    Filters containing EXISTS (which reads the whole current binding)
+    or boundness-sensitive calls (BOUND / COALESCE) stay at group
+    level.
+    """
+
+    def rewrite(node: PlanNode) -> PlanNode:
+        if isinstance(node, JoinNode):
+            elements = [rewrite(e) for e in node.elements]
+            bgps = [e for e in elements if isinstance(e, BGPNode)]
+            kept: List[PlanNode] = []
+            for element in elements:
+                if not isinstance(element, FilterNode):
+                    kept.append(element)
+                    continue
+                expr = element.expression
+                if _contains_exists(expr) or any(
+                    call.name in _BOUNDNESS_SENSITIVE
+                    for call in _function_calls(expr)
+                ):
+                    kept.append(element)
+                    continue
+                variables = _expr_vars(expr)
+                if not variables:
+                    kept.append(element)  # fold_constants' business
+                    continue
+                target = next(
+                    (
+                        bgp for bgp in bgps
+                        if variables <= bgp.variables()
+                    ),
+                    None,
+                )
+                if target is None:
+                    kept.append(element)
+                    continue
+                target.pushed.append(expr)
+                ctx.diag(
+                    "SP011",
+                    f"FILTER {render_expression(expr)} pushed into "
+                    "the graph pattern binding "
+                    + ", ".join(f"?{v}" for v in sorted(variables)),
+                )
+            return JoinNode(kept)
+        return _rewrite_children(node, rewrite)
+
+    return rewrite(root)
+
+
+# ---------------------------------------------------------------------------
+# Pass: selectivity-based reordering (SP012 / SP013)
+# ---------------------------------------------------------------------------
+
+
+def reorder_scans(root: PlanNode, ctx: _PassContext) -> PlanNode:
+    """Order scans (and commutative join elements) by selectivity.
+
+    Within a BGP, scans are greedily ordered cheapest-first under the
+    accumulating set of bound variables (estimates from
+    :class:`GraphStatistics`, falling back to a bound-position count).
+    ``bif:contains`` is a constraint, not a scan: it is only eligible
+    once its subject is bound. Maximal runs of join-commutative
+    elements (BGP / VALUES / sub-select / UNION / GRAPH) are reordered
+    the same way; OPTIONAL and BIND are order barriers.
+
+    Sound because joins of those elements commute — only the result
+    *order* changes, never the multiset of solutions.
+    """
+
+    def visit(node: PlanNode, bound: Set[str]) -> PlanNode:
+        if isinstance(node, JoinNode):
+            return _reorder_join(node, bound, ctx, visit)
+        if isinstance(node, BGPNode):
+            return _reorder_bgp(node, bound, ctx)
+        if isinstance(node, LeftJoinNode):
+            return LeftJoinNode(visit(node.group, set(bound)))
+        if isinstance(node, UnionNode):
+            return UnionNode(
+                [visit(b, set(bound)) for b in node.branches]
+            )
+        if isinstance(node, GraphNode):
+            inner = set(bound)
+            if isinstance(node.target, Variable):
+                inner.add(str(node.target))
+            return GraphNode(node.target, visit(node.group, inner))
+        if isinstance(node, SubSelectNode):
+            # sub-selects are evaluated independently of outer bindings
+            return SubSelectNode(node.query, visit(node.plan, set()))
+        if isinstance(node, (ProjectNode, DistinctNode, OrderNode,
+                             SliceNode, AggregateNode)):
+            return _rewrite_children(
+                node, lambda child: visit(child, set(bound))
+            )
+        return node
+
+    return visit(root, set())
+
+
+def _reorder_join(
+    node: JoinNode,
+    bound: Set[str],
+    ctx: _PassContext,
+    visit,
+) -> PlanNode:
+    commutative = (
+        BGPNode, ValuesNode, SubSelectNode, UnionNode, GraphNode,
+        EmptyNode,
+    )
+    result: List[PlanNode] = []
+    run: List[PlanNode] = []
+    running_bound = set(bound)
+
+    def flush() -> None:
+        nonlocal run, running_bound
+        if len(run) > 1:
+            ordered = _greedy_order(
+                run,
+                running_bound,
+                lambda e, b: _quick_estimate(e, b, ctx),
+                lambda e: _element_vars(e),
+                ctx,
+                kind="join elements",
+            )
+            if ordered != run:
+                ctx.diag(
+                    "SP012",
+                    f"{len(run)} join elements reordered by "
+                    "estimated selectivity",
+                )
+            run = ordered
+        for element in run:
+            element = visit(element, set(running_bound))
+            running_bound |= element.certain_vars()
+            result.append(element)
+        run = []
+
+    for element in node.elements:
+        if isinstance(element, commutative):
+            run.append(element)
+        else:
+            flush()
+            element = visit(element, set(running_bound))
+            running_bound |= element.certain_vars()
+            result.append(element)
+    flush()
+    return JoinNode(result)
+
+
+def _reorder_bgp(
+    node: BGPNode, bound: Set[str], ctx: _PassContext
+) -> BGPNode:
+    scans = list(node.scans)
+    if len(scans) > 1:
+        ordered = _greedy_order(
+            scans,
+            set(bound),
+            lambda s, b: _scan_estimate(s, b, ctx),
+            lambda s: s.variables(),
+            ctx,
+            kind="triple patterns",
+            defer=_scan_deferred,
+        )
+        if [s.pattern for s in ordered] != [s.pattern for s in scans]:
+            ctx.diag(
+                "SP012",
+                f"{len(scans)} triple patterns reordered by "
+                "estimated selectivity",
+            )
+        scans = ordered
+    # attach pushed filters at the earliest scan where all their
+    # variables are bound; whatever cannot attach stays on the BGP
+    leftover: List[Expression] = []
+    attached = [ScanStep(s.pattern, s.filters) for s in scans]
+    for expr in node.pushed:
+        variables = _expr_vars(expr)
+        running = set(bound)
+        placed = False
+        for scan in attached:
+            running |= scan.variables()
+            if variables <= running:
+                scan.filters.append(expr)
+                placed = True
+                break
+        if not placed:
+            leftover.append(expr)
+    return BGPNode(attached, leftover)
+
+
+def _scan_deferred(scan: ScanStep, bound: Set[str]) -> bool:
+    """True when a scan may not run yet (magic predicate, subject
+    unbound)."""
+    pattern = scan.pattern
+    if (
+        not isinstance(pattern.predicate, Variable)
+        and str(pattern.predicate) == _MAGIC
+    ):
+        subject = pattern.subject
+        return isinstance(subject, Variable) and str(
+            subject
+        ) not in bound
+    return False
+
+
+def _greedy_order(
+    items: list,
+    bound: Set[str],
+    estimate,
+    variables_of,
+    ctx: _PassContext,
+    kind: str,
+    defer=None,
+) -> list:
+    """Cheapest-first greedy ordering under an accumulating bound set.
+
+    Prefers items connected to already-bound variables; warns (SP013)
+    when it is forced to pick a disconnected item — a cartesian
+    product.
+    """
+    remaining = list(items)
+    ordered = []
+    running = set(bound)
+    while remaining:
+        eligible = [
+            item for item in remaining
+            if defer is None or not defer(item, running)
+        ]
+        if not eligible:
+            # e.g. bif:contains whose subject is never bound: keep the
+            # written order and let the executor raise the same error
+            # the naive path raises.
+            ordered.extend(remaining)
+            break
+        connected = [
+            item for item in eligible
+            if not running or variables_of(item) & running
+            or not variables_of(item)
+        ]
+        cartesian = not connected
+        candidates = eligible if cartesian else connected
+        best = min(
+            candidates, key=lambda item: estimate(item, running)
+        )
+        if cartesian:
+            ctx.diag(
+                "SP013",
+                f"cartesian product: one of the {kind} shares no "
+                "variable with those placed before it",
+            )
+        ordered.append(best)
+        running |= variables_of(best)
+        remaining.remove(best)
+    return ordered
+
+
+def _element_vars(element: PlanNode) -> Set[str]:
+    if isinstance(element, BGPNode):
+        return set(element.variables())
+    if isinstance(element, ValuesNode):
+        return {str(v) for v in element.variables}
+    if isinstance(element, SubSelectNode):
+        variables = element.query.variables
+        return {str(v) for v in variables}
+    if isinstance(element, UnionNode):
+        names: Set[str] = set()
+        for branch in element.branches:
+            for child in branch.children() if isinstance(
+                branch, JoinNode
+            ) else ():
+                names |= _element_vars(child)
+        return names
+    if isinstance(element, GraphNode):
+        names = set()
+        if isinstance(element.target, Variable):
+            names.add(str(element.target))
+        if isinstance(element.group, JoinNode):
+            for child in element.group.children():
+                names |= _element_vars(child)
+        return names
+    return set(element.certain_vars())
+
+
+def _scan_estimate(
+    scan: ScanStep, bound: Set[str], ctx: _PassContext
+) -> float:
+    if ctx.stats is not None:
+        return ctx.stats.scan_cardinality(scan.pattern, bound)
+    # fallback: prefer patterns with more bound positions
+    score = 0
+    for position in (
+        scan.pattern.subject,
+        scan.pattern.predicate,
+        scan.pattern.object,
+    ):
+        if not isinstance(position, Variable) or str(
+            position
+        ) in bound:
+            score += 1
+    return float(3 - score)
+
+
+def _quick_estimate(
+    element: PlanNode, bound: Set[str], ctx: _PassContext
+) -> float:
+    """Rough per-input-solution cost of a join element."""
+    big = float(ctx.stats.total) if ctx.stats else 1e6
+    if isinstance(element, EmptyNode):
+        return 0.0
+    if isinstance(element, ValuesNode):
+        return float(len(element.rows))
+    if isinstance(element, BGPNode):
+        total = 1.0
+        running = set(bound)
+        for scan in _greedy_order(
+            list(element.scans),
+            set(bound),
+            lambda s, b: _scan_estimate(s, b, ctx),
+            lambda s: s.variables(),
+            _PassContext(ctx.stats, ctx.functions, ctx.name),
+            kind="triple patterns",
+            defer=_scan_deferred,
+        ):
+            total *= max(_scan_estimate(scan, running, ctx), 0.001)
+            running |= scan.variables()
+        return total
+    if isinstance(element, UnionNode):
+        return sum(
+            _quick_estimate(b, bound, ctx) for b in element.branches
+        )
+    if isinstance(element, JoinNode):
+        total = 1.0
+        running = set(bound)
+        for child in element.elements:
+            total *= max(_quick_estimate(child, running, ctx), 0.001)
+            running |= child.certain_vars()
+        return total
+    if isinstance(element, GraphNode):
+        return _quick_estimate(element.group, bound, ctx)
+    return big
+
+
+# ---------------------------------------------------------------------------
+# Pass: redundant DISTINCT / ORDER elimination (SP015 / SP016)
+# ---------------------------------------------------------------------------
+
+
+def drop_redundant(root: PlanNode, ctx: _PassContext) -> PlanNode:
+    """Drop DISTINCT / ORDER BY modifiers that cannot affect results.
+
+    * duplicate ORDER BY keys: a second key over the same expression
+      can never break a tie the first key left (SP016);
+    * ORDER BY in a sub-select without LIMIT/OFFSET: the outer join
+      consumes the rows as a multiset, so their order is unobservable
+      (SP016);
+    * DISTINCT over a grouped aggregation that projects all the
+      group-by variables: aggregation already emits one row per group
+      (SP015).
+    """
+
+    def rewrite(node: PlanNode, in_subselect: bool) -> PlanNode:
+        if isinstance(node, OrderNode):
+            conditions = []
+            seen_exprs = []
+            for condition in node.conditions:
+                if condition.expression in seen_exprs:
+                    ctx.diag(
+                        "SP016",
+                        "duplicate ORDER BY key "
+                        f"{render_expression(condition.expression)} "
+                        "removed",
+                    )
+                    continue
+                seen_exprs.append(condition.expression)
+                conditions.append(condition)
+            child = rewrite(node.children()[0], in_subselect)
+            if in_subselect:
+                ctx.diag(
+                    "SP016",
+                    "ORDER BY in a sub-select without LIMIT/OFFSET "
+                    "removed (row order is unobservable)",
+                )
+                return child
+            return OrderNode(conditions, child)
+        if isinstance(node, DistinctNode):
+            child = node.children()[0]
+            if _distinct_redundant(child):
+                ctx.diag(
+                    "SP015",
+                    "DISTINCT removed: grouped aggregation already "
+                    "emits unique rows",
+                )
+                return rewrite(child, in_subselect)
+            return DistinctNode(rewrite(child, in_subselect))
+        if isinstance(node, SubSelectNode):
+            no_slice = not any(
+                isinstance(n, SliceNode)
+                for n in _modifier_chain(node.plan)
+            )
+            return SubSelectNode(
+                node.query, rewrite(node.plan, no_slice)
+            )
+        if isinstance(node, SliceNode):
+            # below a LIMIT/OFFSET the row order is observable again
+            return SliceNode(
+                node.limit, node.offset,
+                rewrite(node.children()[0], False),
+            )
+        if isinstance(node, (JoinNode, UnionNode, LeftJoinNode,
+                             GraphNode, ProjectNode, AggregateNode)):
+            return _rewrite_children(
+                node, lambda child: rewrite(child, False)
+                if isinstance(node, (JoinNode, UnionNode, LeftJoinNode,
+                                     GraphNode))
+                else rewrite(child, in_subselect)
+            )
+        return node
+
+    return rewrite(root, False)
+
+
+def _modifier_chain(node: PlanNode) -> List[PlanNode]:
+    chain: List[PlanNode] = []
+    while isinstance(
+        node, (SliceNode, DistinctNode, ProjectNode, OrderNode,
+               AggregateNode)
+    ):
+        chain.append(node)
+        node = node.children()[0]
+    return chain
+
+
+def _distinct_redundant(node: PlanNode) -> bool:
+    """True when the rows under a DISTINCT are already unique."""
+    if not isinstance(node, ProjectNode):
+        return False
+    child = node.child
+    if not isinstance(child, AggregateNode) or not child.grouped:
+        return False
+    query = child.query
+    group_vars: Set[str] = set()
+    for expr in query.group_by:
+        if isinstance(expr, TermExpr) and isinstance(
+            expr.term, Variable
+        ):
+            group_vars.add(str(expr.term))
+        else:
+            return False
+    aliases = {str(agg.alias) for agg in query.aggregates}
+    projected = {str(v) for v in node.variables}
+    # every group key must survive projection, and nothing beyond keys
+    # and aggregate aliases may be projected
+    return group_vars <= projected and projected <= (
+        group_vars | aliases
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cardinality estimation (always runs last)
+# ---------------------------------------------------------------------------
+
+
+def estimate(root: PlanNode, ctx: _PassContext) -> PlanNode:
+    """Annotate every node with estimated output rows (``est_rows``)."""
+    if ctx.stats is None:
+        return root
+    _estimate(root, 1.0, set(), ctx.stats)
+    return root
+
+
+def _estimate(
+    node: PlanNode,
+    in_rows: float,
+    bound: Set[str],
+    stats: GraphStatistics,
+) -> Tuple[float, Set[str]]:
+    if isinstance(node, BGPNode):
+        rows = in_rows
+        running = set(bound)
+        for scan in node.scans:
+            rows *= max(
+                stats.scan_cardinality(scan.pattern, running), 0.0
+            )
+            for expr in scan.filters:
+                rows *= stats.filter_selectivity(expr)
+            scan.est_rows = rows
+            running |= scan.variables()
+        for expr in node.pushed:
+            rows *= stats.filter_selectivity(expr)
+        node.est_rows = rows
+        return rows, running
+    if isinstance(node, JoinNode):
+        rows = in_rows
+        running = set(bound)
+        for element in node.elements:
+            rows, running = _estimate(element, rows, running, stats)
+        node.est_rows = rows
+        return rows, running
+    if isinstance(node, FilterNode):
+        rows = in_rows * stats.filter_selectivity(node.expression)
+        node.est_rows = rows
+        return rows, set(bound)
+    if isinstance(node, LeftJoinNode):
+        inner, _ = _estimate(node.group, in_rows, set(bound), stats)
+        rows = max(in_rows, inner)
+        node.est_rows = rows
+        return rows, set(bound)
+    if isinstance(node, UnionNode):
+        rows = 0.0
+        certain: Optional[Set[str]] = None
+        for branch in node.branches:
+            branch_rows, branch_bound = _estimate(
+                branch, in_rows, set(bound), stats
+            )
+            rows += branch_rows
+            certain = (
+                branch_bound if certain is None
+                else certain & branch_bound
+            )
+        node.est_rows = rows
+        return rows, set(bound) | (certain or set())
+    if isinstance(node, ExtendNode):
+        node.est_rows = in_rows
+        return in_rows, set(bound) | {str(node.variable)}
+    if isinstance(node, ValuesNode):
+        rows = in_rows * max(1, len(node.rows))
+        node.est_rows = rows
+        return rows, set(bound) | {str(v) for v in node.variables}
+    if isinstance(node, SubSelectNode):
+        inner, _ = _estimate(node.plan, 1.0, set(), stats)
+        rows = in_rows * max(inner, 0.0)
+        node.est_rows = rows
+        projected = {str(v) for v in node.query.variables}
+        return rows, set(bound) | projected
+    if isinstance(node, GraphNode):
+        inner_bound = set(bound)
+        if isinstance(node.target, Variable):
+            inner_bound.add(str(node.target))
+        rows, running = _estimate(
+            node.group, in_rows, inner_bound, stats
+        )
+        node.est_rows = rows
+        return rows, running
+    if isinstance(node, EmptyNode):
+        node.est_rows = 0.0
+        return 0.0, set(bound)
+    if isinstance(node, ProjectNode):
+        rows, running = _estimate(node.child, in_rows, bound, stats)
+        node.est_rows = rows
+        return rows, running
+    if isinstance(node, DistinctNode):
+        rows, running = _estimate(node.child, in_rows, bound, stats)
+        node.est_rows = rows
+        return rows, running
+    if isinstance(node, OrderNode):
+        rows, running = _estimate(node.child, in_rows, bound, stats)
+        node.est_rows = rows
+        return rows, running
+    if isinstance(node, SliceNode):
+        rows, running = _estimate(node.child, in_rows, bound, stats)
+        rows = max(rows - node.offset, 0.0)
+        if node.limit is not None:
+            rows = min(rows, float(node.limit))
+        node.est_rows = rows
+        return rows, running
+    if isinstance(node, AggregateNode):
+        rows, running = _estimate(node.child, in_rows, bound, stats)
+        if node.grouped:
+            if node.query.group_by:
+                rows = max(1.0, rows * 0.5)
+            else:
+                rows = 1.0
+        node.est_rows = rows
+        return rows, running
+    if isinstance(node, ScanStep):  # pragma: no cover - via BGPNode
+        return in_rows, set(bound)
+    node.est_rows = in_rows
+    return in_rows, set(bound)
+
+
+def _rewrite_children(node: PlanNode, rewrite) -> PlanNode:
+    """Rebuild a non-join node with rewritten children."""
+    if isinstance(node, LeftJoinNode):
+        return LeftJoinNode(rewrite(node.group))
+    if isinstance(node, UnionNode):
+        return UnionNode([rewrite(b) for b in node.branches])
+    if isinstance(node, GraphNode):
+        return GraphNode(node.target, rewrite(node.group))
+    if isinstance(node, SubSelectNode):
+        return SubSelectNode(node.query, rewrite(node.plan))
+    if isinstance(node, ProjectNode):
+        return ProjectNode(node.variables, rewrite(node.child))
+    if isinstance(node, DistinctNode):
+        return DistinctNode(rewrite(node.child))
+    if isinstance(node, OrderNode):
+        return OrderNode(node.conditions, rewrite(node.child))
+    if isinstance(node, SliceNode):
+        return SliceNode(node.limit, node.offset, rewrite(node.child))
+    if isinstance(node, AggregateNode):
+        return AggregateNode(node.query, rewrite(node.child))
+    if isinstance(node, JoinNode):
+        return JoinNode([rewrite(e) for e in node.elements])
+    return node
+
+
+# ---------------------------------------------------------------------------
+# The planner
+# ---------------------------------------------------------------------------
+
+#: The default pass pipeline, in the order that composes best. Every
+#: pass is sound in isolation, so any permutation is also correct —
+#: property-tested in ``tests/analysis/test_plan_property.py``.
+DEFAULT_PASSES: Tuple[Tuple[str, Pass], ...] = (
+    ("fold_constants", fold_constants),
+    ("prune_unsatisfiable", prune_unsatisfiable),
+    ("merge_bgps", merge_bgps),
+    ("push_filters", push_filters),
+    ("reorder_scans", reorder_scans),
+    ("drop_redundant", drop_redundant),
+)
+
+PASSES: Dict[str, Pass] = dict(DEFAULT_PASSES)
+
+
+class PlannedQuery:
+    """The outcome of planning one query."""
+
+    def __init__(
+        self,
+        query: Query,
+        plan: PlanNode,
+        diagnostics: List[Diagnostic],
+        passes: List[str],
+    ) -> None:
+        self.query = query
+        self.plan = plan
+        self.diagnostics = diagnostics
+        self.passes = passes
+
+
+class QueryPlanner:
+    """Runs the pass pipeline over lowered queries.
+
+    ``stats`` feeds the cardinality model (estimates are skipped
+    without it); ``passes`` overrides the pipeline — a sequence of
+    names from :data:`PASSES` or ``(name, fn)`` pairs. The final
+    estimation step always runs.
+    """
+
+    def __init__(
+        self,
+        stats: Optional[GraphStatistics] = None,
+        passes: Optional[Sequence] = None,
+        functions: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.stats = stats
+        self.functions = functions
+        if passes is None:
+            self.passes: List[Tuple[str, Pass]] = list(DEFAULT_PASSES)
+        else:
+            self.passes = [
+                (p, PASSES[p]) if isinstance(p, str) else tuple(p)
+                for p in passes
+            ]
+
+    def plan(
+        self, query: Query, name: Optional[str] = None
+    ) -> PlannedQuery:
+        """Lower ``query`` and run the pipeline; the AST is untouched."""
+        ctx = _PassContext(self.stats, self.functions, name)
+        plan = lower_query(query)
+        applied: List[str] = []
+        for pass_name, pass_fn in self.passes:
+            plan = pass_fn(plan, ctx)
+            applied.append(pass_name)
+        plan = estimate(plan, ctx)
+        return PlannedQuery(query, plan, ctx.diagnostics, applied)
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN
+# ---------------------------------------------------------------------------
+
+
+class Explanation:
+    """Everything ``repro explain`` reports for one query."""
+
+    def __init__(
+        self,
+        planned: PlannedQuery,
+        name: Optional[str] = None,
+        row_count: Optional[int] = None,
+        optimized_ms: Optional[float] = None,
+        naive_ms: Optional[float] = None,
+    ) -> None:
+        self.planned = planned
+        self.name = name
+        self.row_count = row_count
+        self.optimized_ms = optimized_ms
+        self.naive_ms = naive_ms
+
+    def render(self) -> str:
+        lines: List[str] = []
+        title = self.name or getattr(
+            self.planned.query, "form", "query"
+        )
+        lines.append(f"== plan for {title} ==")
+        lines.append(
+            "passes: " + ", ".join(self.planned.passes)
+        )
+        if self.planned.diagnostics:
+            lines.append("rewrites:")
+            for diag in self.planned.diagnostics:
+                lines.append(f"  {diag.rule}: {diag.message}")
+        else:
+            lines.append("rewrites: (none)")
+        lines.append("plan:")
+        for line in render_plan(self.planned.plan).splitlines():
+            lines.append("  " + line)
+        if self.row_count is not None:
+            timing = f"rows: {self.row_count}"
+            if self.optimized_ms is not None:
+                timing += f"  optimized: {self.optimized_ms:.1f} ms"
+            if self.naive_ms is not None:
+                timing += f"  naive: {self.naive_ms:.1f} ms"
+                if self.optimized_ms:
+                    speedup = self.naive_ms / self.optimized_ms
+                    timing += f"  speedup: {speedup:.1f}x"
+            lines.append(timing)
+        return "\n".join(lines)
+
+
+def explain(
+    evaluator,
+    query,
+    name: Optional[str] = None,
+    execute: bool = True,
+    compare: bool = False,
+) -> Explanation:
+    """Plan (and optionally run) a query, collecting cardinalities.
+
+    With ``execute`` the optimized plan runs and every node records its
+    actual row count; with ``compare`` the naive path is also timed so
+    the report shows the speedup.
+    """
+    from ..sparql.parser import parse_query
+
+    if isinstance(query, str):
+        query = parse_query(query)
+    planned = evaluator._plan(query, name=name)
+    row_count = None
+    optimized_ms = None
+    naive_ms = None
+    if execute and isinstance(query, SelectQuery):
+        start = time.perf_counter()
+        rows = evaluator._exec_select_plan(query, planned.plan)
+        optimized_ms = (time.perf_counter() - start) * 1000.0
+        row_count = len(rows)
+        if compare:
+            start = time.perf_counter()
+            evaluator._select_rows(query)
+            naive_ms = (time.perf_counter() - start) * 1000.0
+    return Explanation(
+        planned,
+        name=name,
+        row_count=row_count,
+        optimized_ms=optimized_ms,
+        naive_ms=naive_ms,
+    )

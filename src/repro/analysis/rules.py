@@ -46,6 +46,21 @@ _RULES = [
          Severity.ERROR, "sparql"),
     Rule("SP009", "variable occurs exactly once (possible typo)",
          Severity.INFO, "sparql"),
+    # --- Query planner (repro.analysis.plan) -------------------------------
+    Rule("SP010", "constant FILTER expression folded at plan time",
+         Severity.INFO, "sparql"),
+    Rule("SP011", "FILTER pushed down into the basic graph pattern "
+         "binding its variables", Severity.INFO, "sparql"),
+    Rule("SP012", "triple patterns reordered by estimated selectivity",
+         Severity.INFO, "sparql"),
+    Rule("SP013", "join order forces a cartesian product",
+         Severity.WARNING, "sparql"),
+    Rule("SP014", "provably empty pattern pruned from the plan",
+         Severity.WARNING, "sparql"),
+    Rule("SP015", "redundant DISTINCT eliminated",
+         Severity.INFO, "sparql"),
+    Rule("SP016", "redundant ORDER BY eliminated",
+         Severity.INFO, "sparql"),
     # --- D2R mapping linter ------------------------------------------------
     Rule("DM001", "URI pattern placeholder is not a column of the table",
          Severity.ERROR, "d2r"),

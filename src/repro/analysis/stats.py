@@ -1,0 +1,245 @@
+"""Graph statistics feeding the query planner's cardinality model.
+
+:class:`GraphStatistics` is a one-pass summary of a live
+:class:`~repro.rdf.Graph`: per-predicate triple counts and distinct
+subject/object counts (via ``Graph.predicate_statistics``), per-class
+instance counts from ``rdf:type``, and the bounding box of every
+``geo:geometry`` WKT point so that ``bif:st_intersects(?a, ?b, r)``
+filters get a spatial selectivity estimate (circle area over data
+bounding-box area).
+
+The estimation formulas are the classic System-R style ones: a triple
+pattern with a concrete predicate starts from that predicate's triple
+count and is divided by the distinct-subject (resp. distinct-object)
+count for each additionally bound position; ``rdf:type`` with a
+concrete class uses the exact class count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import GEO, RDF
+from ..rdf.terms import Term, Variable
+from ..sparql.ast import (
+    AndExpr,
+    CompareExpr,
+    Expression,
+    FunctionCall,
+    InExpr,
+    NotExpr,
+    OrExpr,
+    TriplePatternNode,
+)
+from ..sparql.geo import try_parse_point
+
+#: Fallback selectivities for filter shapes we cannot model better.
+_EQ_SELECTIVITY = 0.1
+_RANGE_SELECTIVITY = 0.33
+_DEFAULT_SELECTIVITY = 0.5
+
+#: ~1 degree of latitude in kilometers (longitude scaled by cos(lat)).
+_KM_PER_DEGREE = 111.195
+
+
+class GraphStatistics:
+    """Cardinality statistics collected from a graph.
+
+    ``fingerprint`` records ``len(graph)`` at collection time so callers
+    can cheaply detect staleness and re-collect.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        predicates: Dict[Term, Tuple[int, int, int]],
+        class_counts: Dict[Term, int],
+        bbox: Optional[Tuple[float, float, float, float]],
+        geo_points: int,
+    ) -> None:
+        self.total = total
+        self.predicates = predicates
+        self.class_counts = class_counts
+        #: (min_lon, min_lat, max_lon, max_lat) of geo:geometry points.
+        self.bbox = bbox
+        self.geo_points = geo_points
+        #: ``Graph._version`` at collection time (staleness detection).
+        self.fingerprint: Optional[int] = None
+
+    @classmethod
+    def collect(cls, graph: Graph) -> "GraphStatistics":
+        predicates = graph.predicate_statistics()
+
+        class_counts: Dict[Term, int] = {}
+        for _, _, cls_term in graph.triples((None, RDF.type, None)):
+            class_counts[cls_term] = class_counts.get(cls_term, 0) + 1
+
+        min_lon = min_lat = math.inf
+        max_lon = max_lat = -math.inf
+        points = 0
+        for _, _, obj in graph.triples((None, GEO.geometry, None)):
+            point = try_parse_point(obj)
+            if point is None:
+                continue
+            points += 1
+            min_lon = min(min_lon, point.longitude)
+            max_lon = max(max_lon, point.longitude)
+            min_lat = min(min_lat, point.latitude)
+            max_lat = max(max_lat, point.latitude)
+        bbox = (
+            (min_lon, min_lat, max_lon, max_lat) if points else None
+        )
+        stats = cls(
+            len(graph), predicates, class_counts, bbox, points
+        )
+        stats.fingerprint = getattr(graph, "_version", len(graph))
+        return stats
+
+    # ------------------------------------------------------------------
+    # Scan cardinality
+    # ------------------------------------------------------------------
+    def predicate_count(self, predicate: Term) -> int:
+        entry = self.predicates.get(predicate)
+        return entry[0] if entry else 0
+
+    def scan_cardinality(
+        self,
+        pattern: TriplePatternNode,
+        bound: Set[str],
+    ) -> float:
+        """Estimated matches of ``pattern`` given already-bound variables.
+
+        ``bound`` holds the *names* of variables bound by earlier scans;
+        a bound variable position counts as a concrete term.
+        """
+
+        def is_bound(position: Term) -> bool:
+            if isinstance(position, Variable):
+                return str(position) in bound
+            return True
+
+        s_bound = is_bound(pattern.subject)
+        o_bound = is_bound(pattern.object)
+
+        if isinstance(pattern.predicate, Variable):
+            if str(pattern.predicate) not in bound:
+                estimate = float(self.total)
+                n_preds = max(1, len(self.predicates))
+                if s_bound:
+                    estimate /= max(
+                        1,
+                        sum(e[1] for e in self.predicates.values())
+                        / n_preds,
+                    )
+                if o_bound:
+                    estimate /= max(
+                        1,
+                        sum(e[2] for e in self.predicates.values())
+                        / n_preds,
+                    )
+                return max(estimate, 0.001)
+            # predicate bound at runtime: average over predicates
+            entry = (
+                float(self.total) / max(1, len(self.predicates)),
+                1.0,
+                1.0,
+            )
+            return max(entry[0], 0.001)
+
+        entry = self.predicates.get(pattern.predicate)
+        if entry is None:
+            return 0.0
+        triples, distinct_s, distinct_o = entry
+
+        if (
+            pattern.predicate == RDF.type
+            and not isinstance(pattern.object, Variable)
+        ):
+            count = float(self.class_counts.get(pattern.object, 0))
+            if s_bound:
+                count = min(count, 1.0)
+            return count
+
+        estimate = float(triples)
+        if s_bound:
+            estimate /= max(1, distinct_s)
+        if o_bound:
+            estimate /= max(1, distinct_o)
+        return max(estimate, 0.001)
+
+    # ------------------------------------------------------------------
+    # Filter selectivity
+    # ------------------------------------------------------------------
+    def spatial_selectivity(self, radius_km: float) -> float:
+        """Fraction of geo points within ``radius_km`` of a fixed point.
+
+        Ratio of the search-circle area to the data bounding-box area,
+        clamped to (0, 1]. With no or degenerate bbox, falls back to the
+        generic range selectivity.
+        """
+        if self.bbox is None:
+            return _RANGE_SELECTIVITY
+        min_lon, min_lat, max_lon, max_lat = self.bbox
+        mid_lat = math.radians((min_lat + max_lat) / 2.0)
+        width_km = (
+            (max_lon - min_lon) * _KM_PER_DEGREE * math.cos(mid_lat)
+        )
+        height_km = (max_lat - min_lat) * _KM_PER_DEGREE
+        area = width_km * height_km
+        if area <= 0.0:
+            return _RANGE_SELECTIVITY
+        circle = math.pi * radius_km * radius_km
+        return max(min(circle / area, 1.0), 1e-6)
+
+    def filter_selectivity(self, expr: Expression) -> float:
+        """Heuristic fraction of solutions an expression lets through."""
+        if isinstance(expr, AndExpr):
+            product = 1.0
+            for operand in expr.operands:
+                product *= self.filter_selectivity(operand)
+            return product
+        if isinstance(expr, OrExpr):
+            miss = 1.0
+            for operand in expr.operands:
+                miss *= 1.0 - self.filter_selectivity(operand)
+            return 1.0 - miss
+        if isinstance(expr, NotExpr):
+            return 1.0 - self.filter_selectivity(expr.operand)
+        if isinstance(expr, CompareExpr):
+            if expr.op == "=":
+                return _EQ_SELECTIVITY
+            if expr.op == "!=":
+                return 1.0 - _EQ_SELECTIVITY
+            return _RANGE_SELECTIVITY
+        if isinstance(expr, InExpr):
+            hit = min(1.0, _EQ_SELECTIVITY * max(1, len(expr.choices)))
+            return 1.0 - hit if expr.negated else hit
+        if isinstance(expr, FunctionCall):
+            if expr.name == "bif:st_intersects":
+                radius = _constant_number(
+                    expr.args[2] if len(expr.args) == 3 else None
+                )
+                if radius is not None:
+                    return self.spatial_selectivity(radius)
+                return self.spatial_selectivity(0.0)
+            if expr.name in ("REGEX", "CONTAINS", "STRSTARTS",
+                             "STRENDS", "LANGMATCHES"):
+                return _RANGE_SELECTIVITY
+        return _DEFAULT_SELECTIVITY
+
+
+def _constant_number(expr: Optional[Expression]) -> Optional[float]:
+    from ..rdf.terms import Literal
+    from ..sparql.ast import TermExpr
+
+    if expr is None:
+        return None
+    if isinstance(expr, TermExpr) and isinstance(expr.term, Literal):
+        if expr.term.is_numeric:
+            return float(expr.term.value)
+    return None
+
+
+__all__ = ["GraphStatistics"]

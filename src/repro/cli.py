@@ -87,8 +87,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--min-severity", default="info",
-        choices=("info", "warning", "error"),
-        help="hide diagnostics below this severity (default: info)",
+        help="hide diagnostics below this severity "
+             "(info, warning or error; default: info)",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="plan a query and print the annotated algebra tree",
+    )
+    explain.add_argument(
+        "query",
+        help="builtin query name (Q1/Q2/Q3/M1/builder), a .rq/.sparql "
+             "path (or @path), or raw SPARQL text",
+    )
+    explain.add_argument(
+        "--file", default=None,
+        help="N-Triples data to plan against ('-' for stdin; default: "
+             "a synthetic Turin workload)",
+    )
+    explain.add_argument(
+        "--contents", type=int, default=100,
+        help="synthetic workload size when --file is not given "
+             "(default: 100)",
+    )
+    explain.add_argument(
+        "--no-exec", action="store_true", dest="no_exec",
+        help="plan only — skip execution (no actual cardinalities)",
+    )
+    explain.add_argument(
+        "--compare", action="store_true",
+        help="also run and time the naive evaluation path",
     )
     return parser
 
@@ -216,6 +244,17 @@ def _cmd_lint(args) -> int:
         self_check,
     )
 
+    try:
+        min_severity = Severity.parse(args.min_severity)
+    except ValueError:
+        allowed = ", ".join(s.name.lower() for s in Severity)
+        print(
+            f"error: unknown severity {args.min_severity!r} "
+            f"(allowed: {allowed})",
+            file=sys.stderr,
+        )
+        return 2
+
     if not (args.files or args.queries or args.mapping or args.self_check):
         print("error: nothing to lint (give files or --queries/--mapping/"
               "--self-check)", file=sys.stderr)
@@ -240,7 +279,6 @@ def _cmd_lint(args) -> int:
     for path in args.files:
         report.extend(lint_path(Path(path), linter))
 
-    min_severity = Severity.parse(args.min_severity)
     rendered = report.render(min_severity)
     if rendered:
         print(rendered)
@@ -251,6 +289,78 @@ def _cmd_lint(args) -> int:
     return 1 if report.has_errors() else 0
 
 
+def _cmd_explain(args) -> int:
+    from .analysis.self_check import builtin_queries
+    from .sparql import Evaluator
+    from .sparql.parser import SparqlSyntaxError
+
+    builtins = dict(builtin_queries())
+    name = None
+    if args.query in builtins:
+        name = args.query
+        text = builtins[args.query]
+    elif args.query.startswith("@") or args.query.endswith(
+        (".rq", ".sparql")
+    ):
+        path = args.query.lstrip("@")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        name = path
+    else:
+        text = args.query
+
+    if args.file is not None:
+        from .rdf import load_ntriples
+
+        if args.file == "-":
+            source = sys.stdin.read()
+        else:
+            try:
+                with open(args.file, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as exc:
+                print(f"error: cannot read {args.file}: {exc}",
+                      file=sys.stderr)
+                return 2
+        graph = load_ntriples(source)
+    else:
+        from .workloads import (
+            WorkloadConfig,
+            generate_workload,
+            populate_platform,
+        )
+        from .platform import Platform
+
+        platform = Platform()
+        workload = generate_workload(WorkloadConfig(
+            n_users=max(10, args.contents // 50),
+            n_contents=args.contents,
+            cities=("Turin",),
+            seed=42,
+        ))
+        populate_platform(platform, workload)
+        platform.semanticize()
+        graph = platform.union_graph()
+
+    evaluator = Evaluator(graph)
+    try:
+        explanation = evaluator.explain(
+            text,
+            name=name,
+            execute=not args.no_exec,
+            compare=args.compare,
+        )
+    except SparqlSyntaxError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(explanation.render())
+    return 0
+
+
 _COMMANDS = {
     "annotate": _cmd_annotate,
     "detect": _cmd_detect,
@@ -258,6 +368,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "dump": _cmd_dump,
     "lint": _cmd_lint,
+    "explain": _cmd_explain,
 }
 
 

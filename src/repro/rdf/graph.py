@@ -69,6 +69,9 @@ class Graph:
         self._pos: _Index = {}
         self._osp: _Index = {}
         self._size = 0
+        #: bumped on every mutation; lets cached statistics (the query
+        #: planner's cardinality model) detect staleness cheaply.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -84,6 +87,7 @@ class Graph:
             _index_add(self._pos, p, o, s)
             _index_add(self._osp, o, s, p)
             self._size += 1
+            self._version += 1
         return self
 
     def add_all(self, triples: Iterable[Iterable[Any]]) -> "Graph":
@@ -99,6 +103,8 @@ class Graph:
             _index_remove(self._pos, p, o, s)
             _index_remove(self._osp, o, s, p)
         self._size -= len(matches)
+        if matches:
+            self._version += 1
         return len(matches)
 
     def clear(self) -> None:
@@ -106,6 +112,7 @@ class Graph:
         self._pos.clear()
         self._osp.clear()
         self._size = 0
+        self._version += 1
 
     @staticmethod
     def _as_node(value: Any) -> Term:
@@ -283,6 +290,25 @@ class Graph:
 
     def __repr__(self) -> str:
         return f"Graph({str(self.identifier)!r}, triples={self._size})"
+
+    def predicate_statistics(
+        self,
+    ) -> Dict[Term, Tuple[int, int, int]]:
+        """Per-predicate ``(triples, distinct_subjects, distinct_objects)``.
+
+        One pass over the POS index — this is the raw input for the query
+        planner's cardinality model (:class:`repro.analysis.stats`).
+        """
+        stats: Dict[Term, Tuple[int, int, int]] = {}
+        for predicate, by_object in self._pos.items():
+            triples = sum(len(subjects) for subjects in by_object.values())
+            subjects_seen: Set[Term] = set()
+            for subjects in by_object.values():
+                subjects_seen |= subjects
+            stats[predicate] = (
+                triples, len(subjects_seen), len(by_object)
+            )
+        return stats
 
     # ------------------------------------------------------------------
     # Convenience

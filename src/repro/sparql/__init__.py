@@ -6,6 +6,7 @@ queries verbatim — including ``bif:st_intersects`` geospatial filters and
 ``bif:contains`` full-text matching.
 """
 
+from .algebra import PlanNode, lower_query, render_plan
 from .ast import (
     AskQuery,
     ConstructQuery,
@@ -44,6 +45,7 @@ __all__ = [
     "ExpressionError",
     "FullTextIndex",
     "GeometryError",
+    "PlanNode",
     "Point",
     "Query",
     "Row",
@@ -54,9 +56,11 @@ __all__ = [
     "SparqlSyntaxError",
     "contains",
     "haversine_km",
+    "lower_query",
     "parse_point",
     "parse_query",
     "query",
+    "render_plan",
     "st_distance",
     "st_intersects",
     "st_point",

@@ -1,0 +1,669 @@
+"""Explicit query algebra: the plan the optimizer rewrites.
+
+The parser's AST (:mod:`repro.sparql.ast`) doubles as an executable
+tree, but it has no room for the facts a planner needs: per-node
+cardinality estimates, statically chosen scan orders, filters pushed
+into the basic graph pattern that owns their variables. This module
+lowers a parsed query into an explicit algebra tree of
+:class:`PlanNode` objects that the pass pipeline in
+:mod:`repro.analysis.plan` rewrites and the evaluator executes
+(``Evaluator(optimize=True)``).
+
+Lowering never mutates the AST — plan nodes hold references to the
+parser's (immutable) triple patterns and expressions, and every
+structural decision lives in the plan, not the query.
+
+Every node carries two annotations rendered by ``repro explain``:
+
+* ``est_rows`` — the planner's cardinality estimate (filled by the
+  estimate pass from :class:`repro.analysis.stats.GraphStatistics`);
+* ``actual_rows`` — the number of solutions the node actually produced
+  during execution (filled by the evaluator).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import Term, Variable
+from .ast import (
+    AggregateBinding,
+    AndExpr,
+    ArithExpr,
+    AskQuery,
+    BGP,
+    BindPattern,
+    CompareExpr,
+    ConstructQuery,
+    DescribeQuery,
+    ExistsExpr,
+    Expression,
+    FilterPattern,
+    FunctionCall,
+    GraphGraphPattern,
+    GroupPattern,
+    InExpr,
+    NegExpr,
+    NotExpr,
+    OptionalPattern,
+    OrderCondition,
+    OrExpr,
+    PatternNode,
+    Query,
+    SelectQuery,
+    SubSelectPattern,
+    TermExpr,
+    TriplePatternNode,
+    UnionPattern,
+    ValuesPattern,
+)
+from .errors import SparqlEvalError
+
+
+class PlanNode:
+    """Base class of all algebra nodes.
+
+    Within a :class:`JoinNode`, children act as *stream operators*:
+    solution mappings flow through them in sequence, matching the
+    group-graph-pattern semantics the evaluator implements.
+    """
+
+    __slots__ = ("est_rows", "actual_rows")
+
+    def __init__(self) -> None:
+        self.est_rows: Optional[float] = None
+        self.actual_rows: Optional[int] = None
+
+    def children(self) -> Sequence["PlanNode"]:
+        return ()
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def certain_vars(self) -> frozenset:
+        """Variable names this node binds in every solution it emits."""
+        return frozenset()
+
+
+class ScanStep(PlanNode):
+    """One triple-pattern lookup inside a :class:`BGPNode`.
+
+    ``filters`` are expressions pushed down by the planner, applied to
+    each solution as soon as this scan has extended it.
+    """
+
+    __slots__ = ("pattern", "filters")
+
+    def __init__(
+        self,
+        pattern: TriplePatternNode,
+        filters: Optional[List[Expression]] = None,
+    ) -> None:
+        super().__init__()
+        self.pattern = pattern
+        self.filters: List[Expression] = list(filters or ())
+
+    def variables(self) -> frozenset:
+        return frozenset(str(v) for v in self.pattern.variables())
+
+    def certain_vars(self) -> frozenset:
+        return self.variables()
+
+    def label(self) -> str:
+        text = "Scan " + " ".join(
+            _term_text(t)
+            for t in (
+                self.pattern.subject,
+                self.pattern.predicate,
+                self.pattern.object,
+            )
+        )
+        for expr in self.filters:
+            text += f" | FILTER {render_expression(expr)}"
+        return text
+
+
+class BGPNode(PlanNode):
+    """A basic graph pattern: an ordered list of scans.
+
+    ``pushed`` holds filters assigned to this BGP by the pushdown pass
+    but not yet attached to a specific scan (the reorder pass attaches
+    them at the earliest position where their variables are bound; the
+    executor applies any leftovers after the final scan).
+    """
+
+    __slots__ = ("scans", "pushed")
+
+    def __init__(
+        self,
+        scans: List[ScanStep],
+        pushed: Optional[List[Expression]] = None,
+    ) -> None:
+        super().__init__()
+        self.scans = scans
+        self.pushed: List[Expression] = list(pushed or ())
+
+    def children(self) -> Sequence[PlanNode]:
+        return self.scans
+
+    def variables(self) -> frozenset:
+        names: set = set()
+        for scan in self.scans:
+            names |= scan.variables()
+        return frozenset(names)
+
+    def certain_vars(self) -> frozenset:
+        return self.variables()
+
+    def label(self) -> str:
+        text = f"BGP ({len(self.scans)} scan(s))"
+        for expr in self.pushed:
+            text += f" | FILTER {render_expression(expr)}"
+        return text
+
+
+class FilterNode(PlanNode):
+    """A group-level FILTER applied to the incoming solution stream."""
+
+    __slots__ = ("expression",)
+
+    def __init__(self, expression: Expression) -> None:
+        super().__init__()
+        self.expression = expression
+
+    def label(self) -> str:
+        return f"Filter {render_expression(self.expression)}"
+
+
+class JoinNode(PlanNode):
+    """A group ``{ ... }``: elements applied to the stream in order."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: List[PlanNode]) -> None:
+        super().__init__()
+        self.elements = elements
+
+    def children(self) -> Sequence[PlanNode]:
+        return self.elements
+
+    def certain_vars(self) -> frozenset:
+        names: frozenset = frozenset()
+        for element in self.elements:
+            names |= element.certain_vars()
+        return names
+
+    def label(self) -> str:
+        return f"Join ({len(self.elements)} element(s))"
+
+
+class LeftJoinNode(PlanNode):
+    """``OPTIONAL { ... }`` — a left join against the group plan."""
+
+    __slots__ = ("group",)
+
+    def __init__(self, group: PlanNode) -> None:
+        super().__init__()
+        self.group = group
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.group,)
+
+    def label(self) -> str:
+        return "LeftJoin (OPTIONAL)"
+
+
+class UnionNode(PlanNode):
+    """``{ ... } UNION { ... }`` — branch concatenation."""
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches: List[PlanNode]) -> None:
+        super().__init__()
+        self.branches = branches
+
+    def children(self) -> Sequence[PlanNode]:
+        return self.branches
+
+    def certain_vars(self) -> frozenset:
+        if not self.branches:
+            return frozenset()
+        names = self.branches[0].certain_vars()
+        for branch in self.branches[1:]:
+            names &= branch.certain_vars()
+        return names
+
+    def label(self) -> str:
+        return f"Union ({len(self.branches)} branch(es))"
+
+
+class ExtendNode(PlanNode):
+    """``BIND (expr AS ?var)``."""
+
+    __slots__ = ("variable", "expression")
+
+    def __init__(self, variable: Variable, expression: Expression) -> None:
+        super().__init__()
+        self.variable = variable
+        self.expression = expression
+
+    def certain_vars(self) -> frozenset:
+        # BIND leaves the variable unbound when the expression errors
+        return frozenset()
+
+    def label(self) -> str:
+        return (
+            f"Extend ?{self.variable} := "
+            f"{render_expression(self.expression)}"
+        )
+
+
+class ValuesNode(PlanNode):
+    """Inline ``VALUES`` data."""
+
+    __slots__ = ("variables", "rows")
+
+    def __init__(
+        self,
+        variables: List[Variable],
+        rows: List[Tuple[Optional[Term], ...]],
+    ) -> None:
+        super().__init__()
+        self.variables = variables
+        self.rows = rows
+
+    def certain_vars(self) -> frozenset:
+        certain = set(str(v) for v in self.variables)
+        for row in self.rows:
+            for var, value in zip(self.variables, row):
+                if value is None:
+                    certain.discard(str(var))
+        return frozenset(certain)
+
+    def label(self) -> str:
+        names = " ".join(f"?{v}" for v in self.variables)
+        return f"Values [{names}] ({len(self.rows)} row(s))"
+
+
+class SubSelectNode(PlanNode):
+    """A nested ``{ SELECT ... }``: inner plan evaluated once, joined."""
+
+    __slots__ = ("query", "plan")
+
+    def __init__(self, query: SelectQuery, plan: PlanNode) -> None:
+        super().__init__()
+        self.query = query
+        self.plan = plan
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.plan,)
+
+    def certain_vars(self) -> frozenset:
+        # projected variables may be unbound (e.g. OPTIONAL-only)
+        return frozenset()
+
+    def label(self) -> str:
+        names = " ".join(f"?{v}" for v in self.query.variables) or "*"
+        return f"SubSelect [{names}]"
+
+
+class GraphNode(PlanNode):
+    """``GRAPH <iri>/?g { ... }`` over the dataset's named graphs."""
+
+    __slots__ = ("target", "group")
+
+    def __init__(self, target: Term, group: PlanNode) -> None:
+        super().__init__()
+        self.target = target
+        self.group = group
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.group,)
+
+    def label(self) -> str:
+        return f"Graph {_term_text(self.target)}"
+
+
+class EmptyNode(PlanNode):
+    """A provably-empty pattern: yields no solutions."""
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str) -> None:
+        super().__init__()
+        self.reason = reason
+        self.est_rows = 0.0
+
+    def label(self) -> str:
+        return f"Empty ({self.reason})"
+
+
+class ProjectNode(PlanNode):
+    """Projection onto the SELECT variables."""
+
+    __slots__ = ("variables", "child")
+
+    def __init__(self, variables: List[Variable], child: PlanNode) -> None:
+        super().__init__()
+        self.variables = variables
+        self.child = child
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def label(self) -> str:
+        names = " ".join(f"?{v}" for v in self.variables) or "*"
+        return f"Project [{names}]"
+
+
+class DistinctNode(PlanNode):
+    """``DISTINCT`` / ``REDUCED`` duplicate-row elimination."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: PlanNode) -> None:
+        super().__init__()
+        self.child = child
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Distinct"
+
+
+class OrderNode(PlanNode):
+    """``ORDER BY`` — materializes and sorts the stream."""
+
+    __slots__ = ("conditions", "child")
+
+    def __init__(
+        self, conditions: List[OrderCondition], child: PlanNode
+    ) -> None:
+        super().__init__()
+        self.conditions = conditions
+        self.child = child
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def label(self) -> str:
+        keys = ", ".join(
+            ("DESC(" if c.descending else "ASC(")
+            + render_expression(c.expression) + ")"
+            for c in self.conditions
+        )
+        return f"OrderBy {keys}"
+
+
+class SliceNode(PlanNode):
+    """``LIMIT`` / ``OFFSET``."""
+
+    __slots__ = ("limit", "offset", "child")
+
+    def __init__(
+        self, limit: Optional[int], offset: int, child: PlanNode
+    ) -> None:
+        super().__init__()
+        self.limit = limit
+        self.offset = offset
+        self.child = child
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def label(self) -> str:
+        parts = []
+        if self.offset:
+            parts.append(f"offset={self.offset}")
+        if self.limit is not None:
+            parts.append(f"limit={self.limit}")
+        return "Slice " + " ".join(parts)
+
+
+class AggregateNode(PlanNode):
+    """GROUP BY / aggregate projection (or plain expression bindings)."""
+
+    __slots__ = ("query", "child")
+
+    def __init__(self, query: SelectQuery, child: PlanNode) -> None:
+        super().__init__()
+        self.query = query
+        self.child = child
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    @property
+    def grouped(self) -> bool:
+        return bool(self.query.group_by) or any(
+            agg.function != "EXPR" for agg in self.query.aggregates
+        )
+
+    def label(self) -> str:
+        if not self.grouped:
+            return "Extend (projection expressions)"
+        keys = ", ".join(
+            render_expression(e) for e in self.query.group_by
+        ) or "()"
+        aggs = ", ".join(
+            _aggregate_text(a) for a in self.query.aggregates
+        )
+        return f"Aggregate group-by {keys} [{aggs}]"
+
+
+# ---------------------------------------------------------------------------
+# Lowering: AST -> algebra
+# ---------------------------------------------------------------------------
+
+
+def lower_query(query: Query) -> PlanNode:
+    """Lower any query form; non-SELECT forms plan their WHERE group."""
+    if isinstance(query, SelectQuery):
+        return lower_select(query)
+    if isinstance(query, (AskQuery, ConstructQuery)):
+        return lower_group(query.where)
+    if isinstance(query, DescribeQuery):
+        if query.where is None:
+            return JoinNode([])
+        return lower_group(query.where)
+    raise SparqlEvalError(f"cannot lower query form: {query!r}")
+
+
+def lower_select(query: SelectQuery) -> PlanNode:
+    """Lower a SELECT into the modifier chain the evaluator applies."""
+    node: PlanNode = lower_group(query.where)
+    if query.aggregates or query.group_by:
+        node = AggregateNode(query, node)
+    if query.order_by:
+        node = OrderNode(list(query.order_by), node)
+    node = ProjectNode(
+        list(query.variables) or collect_variables(query.where), node
+    )
+    if query.distinct or query.reduced:
+        node = DistinctNode(node)
+    if query.offset or query.limit is not None:
+        node = SliceNode(query.limit, query.offset, node)
+    return node
+
+
+def lower_group(group: GroupPattern) -> JoinNode:
+    """Lower a group pattern; FILTERs go last (group-level scoping)."""
+    elements: List[PlanNode] = []
+    filters: List[PlanNode] = []
+    for element in group.elements:
+        if isinstance(element, FilterPattern):
+            filters.append(FilterNode(element.expression))
+        else:
+            elements.append(_lower_element(element))
+    return JoinNode(elements + filters)
+
+
+def _lower_element(element: PatternNode) -> PlanNode:
+    if isinstance(element, BGP):
+        return BGPNode([ScanStep(t) for t in element.triples])
+    if isinstance(element, GroupPattern):
+        return lower_group(element)
+    if isinstance(element, OptionalPattern):
+        return LeftJoinNode(lower_group(element.group))
+    if isinstance(element, UnionPattern):
+        return UnionNode([lower_group(b) for b in element.branches])
+    if isinstance(element, BindPattern):
+        return ExtendNode(element.variable, element.expression)
+    if isinstance(element, ValuesPattern):
+        return ValuesNode(list(element.variables), list(element.rows))
+    if isinstance(element, SubSelectPattern):
+        return SubSelectNode(
+            element.query, lower_select(element.query)
+        )
+    if isinstance(element, GraphGraphPattern):
+        return GraphNode(element.target, lower_group(element.group))
+    raise SparqlEvalError(f"cannot lower pattern element: {element!r}")
+
+
+def collect_variables(node: PatternNode) -> List[Variable]:
+    """In-order distinct variables of a pattern tree (SELECT *)."""
+    found: List[Variable] = []
+    seen: set = set()
+
+    def visit(element: PatternNode) -> None:
+        if isinstance(element, BGP):
+            for triple in element.triples:
+                for var in triple.variables():
+                    if var not in seen:
+                        seen.add(var)
+                        found.append(var)
+        elif isinstance(element, GroupPattern):
+            for child in element.elements:
+                visit(child)
+        elif isinstance(element, OptionalPattern):
+            visit(element.group)
+        elif isinstance(element, UnionPattern):
+            for branch in element.branches:
+                visit(branch)
+        elif isinstance(element, BindPattern):
+            if element.variable not in seen:
+                seen.add(element.variable)
+                found.append(element.variable)
+        elif isinstance(element, ValuesPattern):
+            for var in element.variables:
+                if var not in seen:
+                    seen.add(var)
+                    found.append(var)
+        elif isinstance(element, SubSelectPattern):
+            inner = element.query.variables or collect_variables(
+                element.query.where
+            )
+            for var in inner:
+                if var not in seen:
+                    seen.add(var)
+                    found.append(var)
+
+    visit(node)
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Traversal / rendering
+# ---------------------------------------------------------------------------
+
+
+def walk(node: PlanNode) -> Iterator[PlanNode]:
+    """Depth-first pre-order walk of a plan tree."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+def render_plan(root: PlanNode) -> str:
+    """Render a plan as an indented tree with cardinality annotations."""
+    lines: List[str] = []
+
+    def visit(node: PlanNode, prefix: str, tail: str) -> None:
+        lines.append(tail + node.label() + _annotation(node))
+        children = list(node.children())
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            connector = "└─ " if last else "├─ "
+            extension = "   " if last else "│  "
+            visit(child, prefix + extension, prefix + connector)
+
+    visit(root, "", "")
+    return "\n".join(lines)
+
+
+def _annotation(node: PlanNode) -> str:
+    parts = []
+    if node.est_rows is not None:
+        parts.append(f"est={_fmt_rows(node.est_rows)}")
+    if node.actual_rows is not None:
+        parts.append(f"actual={node.actual_rows}")
+    return ("  [" + " ".join(parts) + "]") if parts else ""
+
+
+def _fmt_rows(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    if value >= 10:
+        return str(int(round(value)))
+    if value >= 0.095:
+        return f"{value:.1f}"
+    return f"{value:.2g}"
+
+
+def _term_text(term: Term) -> str:
+    if isinstance(term, Variable):
+        return f"?{term}"
+    return term.n3()
+
+
+def _aggregate_text(agg: AggregateBinding) -> str:
+    if agg.function == "EXPR":
+        inner = render_expression(agg.argument) if agg.argument else ""
+        return f"({inner} AS ?{agg.alias})"
+    arg = "*" if agg.argument is None else render_expression(agg.argument)
+    distinct = "DISTINCT " if agg.distinct else ""
+    return f"({agg.function}({distinct}{arg}) AS ?{agg.alias})"
+
+
+def render_expression(expr: Expression) -> str:
+    """Compact SPARQL-ish rendering of an expression tree."""
+    if isinstance(expr, TermExpr):
+        return _term_text(expr.term)
+    if isinstance(expr, OrExpr):
+        return "(" + " || ".join(
+            render_expression(e) for e in expr.operands
+        ) + ")"
+    if isinstance(expr, AndExpr):
+        return "(" + " && ".join(
+            render_expression(e) for e in expr.operands
+        ) + ")"
+    if isinstance(expr, NotExpr):
+        return "!" + render_expression(expr.operand)
+    if isinstance(expr, NegExpr):
+        return "-" + render_expression(expr.operand)
+    if isinstance(expr, CompareExpr):
+        return (
+            f"({render_expression(expr.left)} {expr.op} "
+            f"{render_expression(expr.right)})"
+        )
+    if isinstance(expr, ArithExpr):
+        return (
+            f"({render_expression(expr.left)} {expr.op} "
+            f"{render_expression(expr.right)})"
+        )
+    if isinstance(expr, InExpr):
+        keyword = "NOT IN" if expr.negated else "IN"
+        choices = ", ".join(
+            render_expression(c) for c in expr.choices
+        )
+        return (
+            f"({render_expression(expr.operand)} {keyword} ({choices}))"
+        )
+    if isinstance(expr, FunctionCall):
+        args = ", ".join(render_expression(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ExistsExpr):
+        keyword = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"{keyword} {{…}}"
+    return repr(expr)

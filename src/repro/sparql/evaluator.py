@@ -21,6 +21,25 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..rdf.graph import Dataset, Graph
 from ..rdf.terms import BNode, Literal, Term, URIRef, Variable
+from .algebra import (
+    AggregateNode,
+    BGPNode,
+    DistinctNode,
+    EmptyNode,
+    ExtendNode,
+    FilterNode,
+    GraphNode,
+    JoinNode,
+    LeftJoinNode,
+    OrderNode,
+    PlanNode,
+    ProjectNode,
+    ScanStep,
+    SliceNode,
+    SubSelectNode,
+    UnionNode,
+    ValuesNode,
+)
 from .ast import (
     AggregateBinding,
     AndExpr,
@@ -74,6 +93,14 @@ class Evaluator:
     when error-severity diagnostics are found, raising
     :class:`repro.analysis.AnalysisError`. ``linter`` overrides the
     default linter instance (e.g. to supply a custom vocabulary).
+
+    With ``optimize=True`` (the default) queries are first lowered and
+    rewritten by the static planner (:mod:`repro.analysis.plan`) and
+    the optimized plan is executed — results are identical to the
+    naive path, only faster. ``planner`` overrides the planner
+    instance (e.g. to pin a custom pass pipeline); by default one is
+    built from statistics collected off the live graph and re-collected
+    whenever the graph changes.
     """
 
     def __init__(
@@ -82,6 +109,8 @@ class Evaluator:
         functions: Optional[Dict[str, object]] = None,
         strict: bool = False,
         linter=None,
+        optimize: bool = True,
+        planner=None,
     ) -> None:
         if isinstance(graph, Dataset):
             # Virtuoso-style: the default graph for plain BGPs is the
@@ -96,6 +125,9 @@ class Evaluator:
             self.functions.update(functions)
         self.strict = strict
         self._linter = linter
+        self.optimize = optimize
+        self._planner = planner
+        self._stats = None
 
     # ------------------------------------------------------------------
     # Entry points
@@ -136,10 +168,69 @@ class Evaluator:
             raise AnalysisError(errors)
 
     # ------------------------------------------------------------------
+    # Planning (optimize=True)
+    # ------------------------------------------------------------------
+    def _statistics(self):
+        """Graph statistics, re-collected whenever the graph changes.
+
+        The snapshot is cached on the graph itself so every evaluator
+        over the same store shares one collection pass.
+        """
+        from ..analysis.stats import GraphStatistics
+
+        version = getattr(self.graph, "_version", None)
+        cached = getattr(self.graph, "_stats_cache", None)
+        if cached is not None and cached.fingerprint == version:
+            self._stats = cached
+            return cached
+        stats = GraphStatistics.collect(self.graph)
+        self._stats = stats
+        try:
+            self.graph._stats_cache = stats
+        except AttributeError:  # pragma: no cover - exotic graphs
+            pass
+        return stats
+
+    def _plan(self, query, name: Optional[str] = None):
+        """Lower and rewrite ``query`` with the static planner."""
+        from ..analysis.plan import QueryPlanner
+
+        planner = self._planner
+        if planner is None:
+            planner = QueryPlanner(
+                stats=self._statistics(), functions=self.functions
+            )
+        return planner.plan(query, name=name)
+
+    def explain(
+        self,
+        query,
+        name: Optional[str] = None,
+        execute: bool = True,
+        compare: bool = False,
+    ):
+        """Plan ``query`` and report the annotated algebra tree.
+
+        Returns a :class:`repro.analysis.plan.Explanation`; with
+        ``execute`` the plan runs and every node records the row count
+        it actually produced, with ``compare`` the naive path is timed
+        alongside.
+        """
+        from ..analysis.plan import explain as _explain
+
+        return _explain(
+            self, query, name=name, execute=execute, compare=compare
+        )
+
+    # ------------------------------------------------------------------
     # SELECT
     # ------------------------------------------------------------------
     def _eval_select(self, query: SelectQuery) -> SelectResult:
-        rows = self._select_rows(query)
+        if self.optimize:
+            planned = self._plan(query)
+            rows = self._exec_select_plan(query, planned.plan)
+        else:
+            rows = self._select_rows(query)
         variables = query.variables or self._collect_variables(query.where)
         return SelectResult(variables, rows)
 
@@ -326,15 +417,23 @@ class Evaluator:
     # ------------------------------------------------------------------
     # ASK / CONSTRUCT / DESCRIBE
     # ------------------------------------------------------------------
+    def _where_solutions(self, query) -> Iterator[Bindings]:
+        """Solutions of a query's WHERE group, planned when optimizing."""
+        if self.optimize:
+            planned = self._plan(query)
+            return self._exec_node(
+                planned.plan, iter([dict()]), self.graph
+            )
+        return self._eval_group(query.where, iter([dict()]))
+
     def _eval_ask(self, query: AskQuery) -> bool:
-        for _ in self._eval_group(query.where, iter([dict()])):
+        for _ in self._where_solutions(query):
             return True
         return False
 
     def _eval_construct(self, query: ConstructQuery) -> Graph:
         result = Graph()
-        solutions = self._eval_group(query.where, iter([dict()]))
-        materialized = list(solutions)
+        materialized = list(self._where_solutions(query))
         if query.offset:
             materialized = materialized[query.offset :]
         if query.limit is not None:
@@ -374,7 +473,7 @@ class Evaluator:
         result = Graph()
         targets: List[Term] = []
         if query.where is not None:
-            for row in self._eval_group(query.where, iter([dict()])):
+            for row in self._where_solutions(query):
                 for term in query.terms:
                     if isinstance(term, Variable):
                         bound = row.get(term)
@@ -679,6 +778,303 @@ class Evaluator:
                     yield binding
             except ExpressionError:
                 continue
+
+    # ------------------------------------------------------------------
+    # Optimized plan execution
+    # ------------------------------------------------------------------
+    def _exec_select_plan(
+        self, query: SelectQuery, plan: PlanNode
+    ) -> List[Row]:
+        """Execute a planned SELECT's modifier chain; mirrors
+        :meth:`_select_rows` operation for operation."""
+        return self._exec_modifier(plan)
+
+    def _exec_modifier(self, node: PlanNode) -> List[Row]:
+        if isinstance(node, SliceNode):
+            rows = self._exec_modifier(node.child)
+            if node.offset:
+                rows = rows[node.offset :]
+            if node.limit is not None:
+                rows = rows[: node.limit]
+        elif isinstance(node, DistinctNode):
+            seen = set()
+            rows = []
+            for row in self._exec_modifier(node.child):
+                key = tuple(sorted((str(k), v) for k, v in row.items()))
+                if key not in seen:
+                    seen.add(key)
+                    rows.append(row)
+        elif isinstance(node, ProjectNode):
+            rows = [
+                {v: row[v] for v in node.variables if v in row}
+                for row in self._exec_modifier(node.child)
+            ]
+        elif isinstance(node, OrderNode):
+            rows = self._exec_modifier(node.child)
+            rows.sort(
+                key=lambda row: tuple(
+                    self._order_key(cond, row)
+                    for cond in node.conditions
+                )
+            )
+        elif isinstance(node, AggregateNode):
+            inner = self._exec_modifier(node.child)
+            if node.grouped:
+                rows = list(self._aggregate(node.query, iter(inner)))
+            else:
+                rows = list(
+                    self._bind_projection_exprs(node.query, iter(inner))
+                )
+        else:
+            rows = list(
+                self._exec_node(node, iter([dict()]), self.graph)
+            )
+            return rows
+        node.actual_rows = (node.actual_rows or 0) + len(rows)
+        return rows
+
+    def _exec_node(
+        self,
+        node: PlanNode,
+        solutions: Iterator[Bindings],
+        graph: Graph,
+    ) -> Iterator[Bindings]:
+        if node.actual_rows is None:
+            node.actual_rows = 0
+        for binding in self._exec_node_inner(node, solutions, graph):
+            node.actual_rows += 1
+            yield binding
+
+    def _exec_node_inner(
+        self,
+        node: PlanNode,
+        solutions: Iterator[Bindings],
+        graph: Graph,
+    ) -> Iterator[Bindings]:
+        if isinstance(node, JoinNode):
+            for element in node.elements:
+                solutions = self._exec_node(element, solutions, graph)
+            yield from solutions
+        elif isinstance(node, BGPNode):
+            for binding in solutions:
+                yield from self._exec_scans(
+                    node.scans, node.pushed, 0, binding, graph
+                )
+        elif isinstance(node, FilterNode):
+            for binding in solutions:
+                try:
+                    value = self._eval_expression(
+                        node.expression, binding, graph
+                    )
+                    if ebv(value):
+                        yield binding
+                except ExpressionError:
+                    continue
+        elif isinstance(node, LeftJoinNode):
+            for binding in solutions:
+                matched = False
+                for extended in self._exec_node(
+                    node.group, iter([binding]), graph
+                ):
+                    matched = True
+                    yield extended
+                if not matched:
+                    yield binding
+        elif isinstance(node, UnionNode):
+            for binding in solutions:
+                for branch in node.branches:
+                    yield from self._exec_node(
+                        branch, iter([binding]), graph
+                    )
+        elif isinstance(node, ExtendNode):
+            for binding in solutions:
+                if node.variable in binding:
+                    raise SparqlEvalError(
+                        f"BIND would rebind ?{node.variable}"
+                    )
+                extended = dict(binding)
+                try:
+                    extended[node.variable] = self._eval_expression(
+                        node.expression, binding, graph
+                    )
+                except ExpressionError:
+                    pass  # variable stays unbound per spec
+                yield extended
+        elif isinstance(node, ValuesNode):
+            for binding in solutions:
+                for row in node.rows:
+                    merged = self._merge_row(
+                        binding, zip(node.variables, row)
+                    )
+                    if merged is not None:
+                        yield merged
+        elif isinstance(node, SubSelectNode):
+            inner_rows = self._exec_select_plan(node.query, node.plan)
+            for binding in solutions:
+                for row in inner_rows:
+                    merged = self._merge_row(binding, row.items())
+                    if merged is not None:
+                        yield merged
+        elif isinstance(node, GraphNode):
+            named = (
+                self.dataset.graphs() if self.dataset is not None else []
+            )
+            for binding in solutions:
+                target = node.target
+                if isinstance(target, Variable) and target in binding:
+                    target = binding[target]
+                if isinstance(target, Variable):
+                    for named_graph in named:
+                        extended = dict(binding)
+                        extended[target] = named_graph.identifier
+                        yield from self._exec_node(
+                            node.group, iter([extended]), named_graph
+                        )
+                else:
+                    for named_graph in named:
+                        if named_graph.identifier == target:
+                            yield from self._exec_node(
+                                node.group, iter([binding]), named_graph
+                            )
+                            break
+        elif isinstance(node, EmptyNode):
+            return
+        else:
+            raise SparqlEvalError(
+                f"cannot execute plan node: {node.label()}"
+            )
+
+    @staticmethod
+    def _merge_row(binding: Bindings, items) -> Optional[Bindings]:
+        """Compatible-merge ``items`` into ``binding`` (None on clash)."""
+        merged = dict(binding)
+        for var, value in items:
+            if value is None:
+                continue
+            current = merged.get(var)
+            if current is None:
+                merged[var] = value
+            elif current != value:
+                return None
+        return merged
+
+    def _exec_scans(
+        self,
+        scans: List[ScanStep],
+        leftover: List[Expression],
+        index: int,
+        binding: Bindings,
+        graph: Graph,
+    ) -> Iterator[Bindings]:
+        """Match scans in their statically planned order."""
+        if index == len(scans):
+            for expr in leftover:
+                try:
+                    if not ebv(
+                        self._eval_expression(expr, binding, graph)
+                    ):
+                        return
+                except ExpressionError:
+                    return
+            yield binding
+            return
+        scan = scans[index]
+        pattern = scan.pattern
+
+        if pattern.predicate == _MAGIC_CONTAINS:
+            yield from self._exec_magic_scan(
+                scans, leftover, index, binding, graph
+            )
+            return
+
+        def resolve(position):
+            if isinstance(position, Variable):
+                return binding.get(position)
+            return position
+
+        s = resolve(pattern.subject)
+        p = resolve(pattern.predicate)
+        o = resolve(pattern.object)
+        if isinstance(s, Literal) or isinstance(p, (Literal, BNode)):
+            return
+        for ts, tp, to in graph.triples((s, p, o)):
+            extended: Optional[Bindings] = None
+            conflict = False
+            for position, value in (
+                (pattern.subject, ts),
+                (pattern.predicate, tp),
+                (pattern.object, to),
+            ):
+                if isinstance(position, Variable):
+                    current = (
+                        extended.get(position)
+                        if extended is not None
+                        else binding.get(position)
+                    )
+                    if current is None:
+                        if extended is None:
+                            extended = dict(binding)
+                        extended[position] = value
+                    elif current != value:
+                        conflict = True
+                        break
+            if conflict:
+                continue
+            produced = extended if extended is not None else binding
+            if not self._scan_filters_pass(scan, produced, graph):
+                continue
+            scan.actual_rows = (scan.actual_rows or 0) + 1
+            yield from self._exec_scans(
+                scans, leftover, index + 1, produced, graph
+            )
+
+    def _exec_magic_scan(
+        self,
+        scans: List[ScanStep],
+        leftover: List[Expression],
+        index: int,
+        binding: Bindings,
+        graph: Graph,
+    ) -> Iterator[Bindings]:
+        """``bif:contains`` constraint — same semantics as the naive
+        :meth:`_match_magic_contains`."""
+        from .fulltext import contains as fulltext_contains
+
+        scan = scans[index]
+        subject = scan.pattern.subject
+        if isinstance(subject, Variable):
+            subject = binding.get(subject)
+        if subject is None:
+            raise SparqlEvalError(
+                "bif:contains requires its subject to be bound by "
+                "another pattern"
+            )
+        needle = scan.pattern.object
+        if isinstance(needle, Variable):
+            needle = binding.get(needle)
+        if not isinstance(needle, Literal):
+            raise SparqlEvalError(
+                "bif:contains requires a literal search pattern"
+            )
+        if isinstance(subject, Literal) and fulltext_contains(
+            subject.lexical, needle.lexical
+        ):
+            if self._scan_filters_pass(scan, binding, graph):
+                scan.actual_rows = (scan.actual_rows or 0) + 1
+                yield from self._exec_scans(
+                    scans, leftover, index + 1, binding, graph
+                )
+
+    def _scan_filters_pass(
+        self, scan: ScanStep, binding: Bindings, graph: Graph
+    ) -> bool:
+        for expr in scan.filters:
+            try:
+                if not ebv(self._eval_expression(expr, binding, graph)):
+                    return False
+            except ExpressionError:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Expression evaluation

@@ -1,0 +1,272 @@
+"""Query planner tests: golden diagnostics SP010-SP016 and EXPLAIN.
+
+Each rewrite pass must (a) fire on a query shaped to trigger it,
+emitting its diagnostic, and (b) leave the result rows identical to the
+naive evaluation path. The EXPLAIN tests pin the report format: every
+algebra node carries an estimated and (after execution) an actual
+cardinality.
+"""
+
+import pytest
+
+from repro.analysis import GraphStatistics, QueryPlanner
+from repro.core import geo_album, rated_album, social_album
+from repro.rdf import (
+    COMM,
+    FOAF,
+    GEO,
+    Graph,
+    Literal,
+    RDF,
+    RDFS,
+    REV,
+    SIOCT,
+)
+from repro.sparql import Evaluator, parse_query
+from repro.sparql.algebra import (
+    BGPNode,
+    DistinctNode,
+    EmptyNode,
+    FilterNode,
+    OrderNode,
+    ScanStep,
+    walk,
+)
+from repro.sparql.geo import Point
+
+MOLE_POS = Point(7.6934, 45.0692)
+NEAR_MOLE = Point(7.6930, 45.0690)
+
+
+@pytest.fixture
+def graph():
+    """A compact Turin scenario with skewed predicate frequencies."""
+    g = Graph()
+    mole = "http://example.org/Mole_Antonelliana"
+    g.add((mole, RDFS.label, Literal("Mole Antonelliana", lang="it")))
+    g.add((mole, GEO.geometry, MOLE_POS.to_literal()))
+    walter = "http://example.org/u/walter"
+    oscar = "http://example.org/u/oscar"
+    g.add((walter, FOAF.name, Literal("walter")))
+    g.add((oscar, FOAF.name, Literal("oscar")))
+    g.add((walter, FOAF.knows, oscar))
+    for i in range(12):
+        pic = f"http://example.org/pic/{i}"
+        g.add((pic, RDF.type, SIOCT.MicroblogPost))
+        g.add((pic, GEO.geometry, NEAR_MOLE.to_literal()))
+        g.add((pic, COMM["image-data"], Literal(f"http://cdn/{i}.jpg")))
+        g.add((pic, FOAF.maker, walter))
+        g.add((pic, REV.rating, Literal(i % 5 + 1)))
+    return g
+
+
+def plan_query(graph, text, name=None):
+    planner = QueryPlanner(stats=GraphStatistics.collect(graph))
+    return planner.plan(parse_query(text), name=name)
+
+
+def rule_ids(planned):
+    return {d.rule for d in planned.diagnostics}
+
+
+def rows(graph, text, optimize):
+    result = Evaluator(graph, optimize=optimize).evaluate(text)
+    return sorted(
+        tuple(sorted((str(k), str(v)) for k, v in row.items()))
+        for row in result
+    )
+
+
+def assert_same_rows(graph, text):
+    assert rows(graph, text, True) == rows(graph, text, False)
+
+
+class TestGoldenDiagnostics:
+    def test_sp010_constant_filter_folded(self, graph):
+        text = "SELECT ?s WHERE { ?s foaf:name ?n . FILTER(1 < 2) }"
+        planned = plan_query(graph, text)
+        assert "SP010" in rule_ids(planned)
+        # the tautology is gone: no FILTER survives anywhere
+        assert not any(
+            isinstance(n, FilterNode) for n in walk(planned.plan)
+        )
+        assert_same_rows(graph, text)
+
+    def test_sp010_false_filter_empties_plan(self, graph):
+        text = "SELECT ?s WHERE { ?s foaf:name ?n . FILTER(2 < 1) }"
+        planned = plan_query(graph, text)
+        assert "SP010" in rule_ids(planned)
+        assert any(
+            isinstance(n, EmptyNode) for n in walk(planned.plan)
+        )
+        assert rows(graph, text, True) == []
+        assert_same_rows(graph, text)
+
+    def test_sp011_filter_pushed_into_bgp(self, graph):
+        text = (
+            "SELECT ?p WHERE { ?p rev:rating ?r . FILTER(?r >= 4) }"
+        )
+        planned = plan_query(graph, text)
+        assert "SP011" in rule_ids(planned)
+        # the filter now lives inside the BGP (on a scan or as pushed)
+        held = []
+        for node in walk(planned.plan):
+            if isinstance(node, BGPNode):
+                held.extend(node.pushed)
+                for scan in node.scans:
+                    held.extend(scan.filters)
+        assert held, "pushed filter must be attached inside the BGP"
+        assert_same_rows(graph, text)
+
+    def test_sp012_scans_reordered(self, graph):
+        # rev:rating (12 triples) listed before the 1-triple name scan:
+        # the planner must put the selective scan first.
+        text = (
+            'SELECT ?p WHERE { ?p rev:rating ?r . ?p foaf:maker ?u . '
+            '?u foaf:name "walter" }'
+        )
+        planned = plan_query(graph, text)
+        assert "SP012" in rule_ids(planned)
+        bgp = next(
+            n for n in walk(planned.plan) if isinstance(n, BGPNode)
+        )
+        first = bgp.scans[0]
+        assert "name" in str(first.pattern.predicate)
+        assert_same_rows(graph, text)
+
+    def test_sp013_cartesian_product_flagged(self, graph):
+        text = (
+            "SELECT ?a ?b WHERE { ?a foaf:name ?n . ?b rev:rating ?r }"
+        )
+        planned = plan_query(graph, text)
+        assert "SP013" in rule_ids(planned)
+        assert_same_rows(graph, text)
+
+    def test_sp014_contradictory_interval_pruned(self, graph):
+        text = (
+            "SELECT ?p WHERE { ?p rev:rating ?r . "
+            "FILTER(?r > 5 && ?r < 2) }"
+        )
+        planned = plan_query(graph, text)
+        assert "SP014" in rule_ids(planned)
+        assert rows(graph, text, True) == []
+        assert_same_rows(graph, text)
+
+    def test_sp014_absent_predicate_pruned(self, graph):
+        text = "SELECT ?p WHERE { ?p dcterms:subject ?c }"
+        planned = plan_query(graph, text)
+        assert "SP014" in rule_ids(planned)
+        assert isinstance(planned.plan.children()[0], EmptyNode) or any(
+            isinstance(n, EmptyNode) for n in walk(planned.plan)
+        )
+        assert_same_rows(graph, text)
+
+    def test_sp015_redundant_distinct_dropped(self, graph):
+        text = (
+            "SELECT DISTINCT ?u (COUNT(?p) AS ?n) WHERE { "
+            "?p foaf:maker ?u } GROUP BY ?u"
+        )
+        planned = plan_query(graph, text)
+        assert "SP015" in rule_ids(planned)
+        assert not any(
+            isinstance(n, DistinctNode) for n in walk(planned.plan)
+        )
+        assert_same_rows(graph, text)
+
+    def test_sp016_duplicate_order_key_dropped(self, graph):
+        text = (
+            "SELECT ?p WHERE { ?p rev:rating ?r } ORDER BY ?r ?r"
+        )
+        planned = plan_query(graph, text)
+        assert "SP016" in rule_ids(planned)
+        order = next(
+            n for n in walk(planned.plan) if isinstance(n, OrderNode)
+        )
+        assert len(order.conditions) == 1
+        assert_same_rows(graph, text)
+
+    def test_sp016_subselect_order_without_slice(self, graph):
+        text = (
+            "SELECT ?p WHERE { "
+            "{ SELECT ?p WHERE { ?p rev:rating ?r } ORDER BY ?r } }"
+        )
+        planned = plan_query(graph, text)
+        assert "SP016" in rule_ids(planned)
+        assert_same_rows(graph, text)
+
+    def test_subselect_order_with_limit_kept(self, graph):
+        # LIMIT makes the inner ORDER BY semantically load-bearing
+        text = (
+            "SELECT ?p WHERE { "
+            "{ SELECT ?p WHERE { ?p rev:rating ?r } "
+            "ORDER BY DESC(?r) LIMIT 3 } }"
+        )
+        planned = plan_query(graph, text)
+        assert "SP016" not in rule_ids(planned)
+        assert_same_rows(graph, text)
+
+
+class TestPlannerMechanics:
+    def test_planning_does_not_mutate_ast(self, graph):
+        text = social_album().query
+        parsed = parse_query(text)
+        reference = parse_query(text)
+        plan_query(graph, text)
+        planner = QueryPlanner(stats=GraphStatistics.collect(graph))
+        planner.plan(parsed)
+        assert parsed == reference
+
+    def test_pass_subset_by_name(self, graph):
+        planner = QueryPlanner(passes=["fold_constants"])
+        planned = planner.plan(parse_query(
+            "SELECT ?s WHERE { ?s foaf:name ?n . FILTER(1 < 2) }"
+        ))
+        assert planned.passes == ["fold_constants"]
+        assert "SP010" in rule_ids(planned)
+
+    def test_no_stats_still_plans(self, graph):
+        planner = QueryPlanner()
+        planned = planner.plan(parse_query(rated_album().query))
+        assert planned.plan is not None
+
+    def test_scan_actual_counts_recorded(self, graph):
+        evaluator = Evaluator(graph)
+        explanation = evaluator.explain(
+            "SELECT ?p WHERE { ?p rev:rating ?r }"
+        )
+        scans = [
+            n for n in walk(explanation.planned.plan)
+            if isinstance(n, ScanStep)
+        ]
+        assert scans and all(s.actual_rows == 12 for s in scans)
+
+
+class TestExplain:
+    @pytest.mark.parametrize("album", [
+        pytest.param(geo_album, id="Q1"),
+        pytest.param(social_album, id="Q2"),
+        pytest.param(rated_album, id="Q3"),
+    ])
+    def test_explain_reports_est_and_actual(self, graph, album):
+        evaluator = Evaluator(graph)
+        report = evaluator.explain(album().query).render()
+        assert "est=" in report
+        assert "actual=" in report
+        assert "rows:" in report
+        assert "passes:" in report
+
+    def test_explain_compare_times_naive(self, graph):
+        evaluator = Evaluator(graph)
+        report = evaluator.explain(
+            rated_album().query, compare=True
+        ).render()
+        assert "naive:" in report
+        assert "speedup:" in report
+
+    def test_explain_without_execution(self, graph):
+        evaluator = Evaluator(graph)
+        report = evaluator.explain(
+            rated_album().query, execute=False
+        ).render()
+        assert "est=" in report
+        assert "actual=" not in report

@@ -75,6 +75,25 @@ def turin_graph():
     return g
 
 
+@pytest.fixture(scope="module")
+def turin_workload_graph():
+    """A generated Turin workload union graph (optimizer regression)."""
+    from repro.platform import Platform
+    from repro.workloads import (
+        WorkloadConfig,
+        generate_workload,
+        populate_platform,
+    )
+
+    platform = Platform()
+    workload = generate_workload(WorkloadConfig(
+        n_users=10, n_contents=100, cities=("Turin",), seed=42
+    ))
+    populate_platform(platform, workload)
+    platform.semanticize()
+    return platform.union_graph()
+
+
 class TestBasicSelect:
     def test_single_pattern(self, turin_graph):
         result = query(
@@ -612,3 +631,51 @@ class TestPaperQueries:
         links = [r["link"].lexical for r in result]
         # walter's two near-Mole pictures ordered by rating desc (5 then 2)
         assert links == ["http://cdn/pic1.jpg", "http://cdn/pic4.jpg"]
+
+    # -- optimizer regression pins -------------------------------------
+    # The planner's rewritten execution must be indistinguishable from
+    # the naive path: same rows, byte for byte, in a deterministic
+    # serialization (ORDER BY sequences compared in order).
+
+    @staticmethod
+    def _rows(result):
+        return sorted(
+            tuple(sorted((str(k), str(v)) for k, v in row.items()))
+            for row in result
+        )
+
+    def test_q1_optimized_matches_naive(self, turin_graph):
+        optimized = query(turin_graph, Q1)
+        naive = query(turin_graph, Q1, optimize=False)
+        assert self._rows(optimized) == self._rows(naive)
+        assert len(optimized) == 3
+
+    def test_q2_optimized_matches_naive(self, turin_graph):
+        optimized = query(turin_graph, Q2)
+        naive = query(turin_graph, Q2, optimize=False)
+        assert self._rows(optimized) == self._rows(naive)
+
+    def test_q3_optimized_matches_naive(self, turin_graph):
+        optimized = query(turin_graph, Q3)
+        naive = query(turin_graph, Q3, optimize=False)
+        # ORDER BY DESC(?points): the sequence itself must match
+        assert (
+            [r["link"].lexical for r in optimized]
+            == [r["link"].lexical for r in naive]
+        )
+        assert self._rows(optimized) == self._rows(naive)
+
+    def test_m1_optimized_matches_naive(self, turin_workload_graph):
+        from repro.core.mashup import mashup_query
+
+        text = mashup_query(pid=1)
+        optimized = query(turin_workload_graph, text)
+        naive = query(turin_workload_graph, text, optimize=False)
+        assert self._rows(optimized) == self._rows(naive)
+        assert len(optimized) > 0
+
+    def test_q1_q3_on_workload(self, turin_workload_graph):
+        for text in (Q1, Q2, Q3):
+            optimized = query(turin_workload_graph, text)
+            naive = query(turin_workload_graph, text, optimize=False)
+            assert self._rows(optimized) == self._rows(naive)

@@ -102,3 +102,73 @@ class TestParser:
     def test_no_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestLintSeverity:
+    def test_unknown_severity_exits_2(self, capsys):
+        assert main(
+            ["lint", "--queries", "--min-severity", "blocker"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown severity 'blocker'" in err
+        assert "info, warning, error" in err
+
+    def test_known_severity_accepted(self, capsys):
+        assert main(
+            ["lint", "--queries", "--min-severity", "error"]
+        ) == 0
+        assert "diagnostic(s)" in capsys.readouterr().out
+
+
+class TestExplain:
+    NT = (
+        '<http://x/a> <http://xmlns.com/foaf/0.1/name> "ada" .\n'
+        '<http://x/a> <http://purl.org/stuff/rev#rating> '
+        '"4"^^<http://www.w3.org/2001/XMLSchema#integer> .\n'
+    )
+
+    def test_explain_raw_query_over_file(self, tmp_path, capsys):
+        data = tmp_path / "data.nt"
+        data.write_text(self.NT)
+        assert main([
+            "explain",
+            "SELECT ?s WHERE { ?s rev:rating ?r . FILTER(?r > 3) }",
+            "--file", str(data),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "est=" in out
+        assert "actual=" in out
+        assert "rows: 1" in out
+
+    def test_explain_builtin_no_exec(self, tmp_path, capsys):
+        data = tmp_path / "data.nt"
+        data.write_text(self.NT)
+        assert main([
+            "explain", "Q1", "--file", str(data), "--no-exec"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== plan for Q1 ==" in out
+        assert "actual=" not in out
+
+    def test_explain_query_file(self, tmp_path, capsys):
+        data = tmp_path / "data.nt"
+        data.write_text(self.NT)
+        rq = tmp_path / "q.rq"
+        rq.write_text("SELECT ?s WHERE { ?s foaf:name ?n }")
+        assert main([
+            "explain", str(rq), "--file", str(data)
+        ]) == 0
+        assert "rows: 1" in capsys.readouterr().out
+
+    def test_explain_missing_query_file(self, capsys):
+        assert main(["explain", "@/nonexistent/q.rq"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_explain_syntax_error(self, tmp_path, capsys):
+        data = tmp_path / "data.nt"
+        data.write_text(self.NT)
+        assert main([
+            "explain", "SELECT WHERE {", "--file", str(data)
+        ]) == 2
+        assert "error" in capsys.readouterr().err
