@@ -47,8 +47,13 @@ _KM_PER_DEGREE = 111.195
 class GraphStatistics:
     """Cardinality statistics collected from a graph.
 
-    ``fingerprint`` records ``len(graph)`` at collection time so callers
-    can cheaply detect staleness and re-collect.
+    ``fingerprint`` records ``Graph._version`` at collection time so
+    callers can cheaply detect staleness and re-collect. For graph-like
+    objects without a ``_version`` counter the fingerprint is a fresh
+    sentinel object that never compares equal to anything observed
+    later — *always stale*. (The old fallback of ``len(graph)`` let a
+    same-size mutation — remove one triple, add another — serve stale
+    planner statistics.)
     """
 
     def __init__(
@@ -65,8 +70,9 @@ class GraphStatistics:
         #: (min_lon, min_lat, max_lon, max_lat) of geo:geometry points.
         self.bbox = bbox
         self.geo_points = geo_points
-        #: ``Graph._version`` at collection time (staleness detection).
-        self.fingerprint: Optional[int] = None
+        #: ``Graph._version`` at collection time (staleness detection);
+        #: an always-stale sentinel when the graph has no version.
+        self.fingerprint: object = None
 
     @classmethod
     def collect(cls, graph: Graph) -> "GraphStatistics":
@@ -94,7 +100,10 @@ class GraphStatistics:
         stats = cls(
             len(graph), predicates, class_counts, bbox, points
         )
-        stats.fingerprint = getattr(graph, "_version", len(graph))
+        version = getattr(graph, "_version", None)
+        # no version counter -> a unique sentinel: never equal to any
+        # later observation, so the snapshot can never be served stale.
+        stats.fingerprint = version if version is not None else object()
         return stats
 
     # ------------------------------------------------------------------

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro annotate "Tramonto sulla Mole Antonelliana" --tags mole
+    python -m repro annotate-batch --contents 200 --workers 4 --fail dbpedia
     python -m repro detect "una foto del mercato"
     python -m repro query data.nt "SELECT ?s WHERE { ?s ?p ?o } LIMIT 5"
     python -m repro demo
@@ -43,6 +44,50 @@ def build_parser() -> argparse.ArgumentParser:
     annotate.add_argument(
         "--lang", default=None,
         help="skip language detection and use this code",
+    )
+
+    batch = sub.add_parser(
+        "annotate-batch",
+        help="batch-annotate a synthetic back catalog and report "
+             "throughput + resolver health",
+    )
+    batch.add_argument(
+        "--contents", type=int, default=100,
+        help="synthetic catalog size (default: 100)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=4,
+        help="parallel annotation workers (default: 4; 1 = sequential)",
+    )
+    batch.add_argument(
+        "--batch-size", type=int, default=25, dest="batch_size",
+        help="items per checkpoint batch (default: 25)",
+    )
+    batch.add_argument(
+        "--fail", default=None, metavar="RESOLVER[:RATE]",
+        help="inject faults: make RESOLVER fail at RATE (default 1.0), "
+             "e.g. --fail dbpedia or --fail geonames:0.3",
+    )
+    batch.add_argument(
+        "--latency", type=float, default=0.0,
+        help="simulated per-call resolver latency in seconds "
+             "(default: 0)",
+    )
+    batch.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-injection seed (default: 0)",
+    )
+    batch.add_argument(
+        "--no-resilience", action="store_true", dest="no_resilience",
+        help="call resolvers directly — no retry/breaker/cache layer",
+    )
+    batch.add_argument(
+        "--retries", type=int, default=3,
+        help="total attempts per resolver call (default: 3)",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-call resolver timeout in seconds (default: none)",
     )
 
     detect = sub.add_parser(
@@ -142,6 +187,125 @@ def _cmd_annotate(args) -> int:
             print(f"  {word!r} -> {chosen.resource} [{chosen.graph}]")
         else:
             print(f"  {word!r} -> ({outcome.reason.value})")
+    return 0
+
+
+def _cmd_annotate_batch(args) -> int:
+    import time
+
+    from .core import BatchAnnotator
+    from .core.annotator import SemanticAnnotator
+    from .core.filtering import SemanticFilter
+    from .lod import build_lod_corpus
+    from .platform import Platform
+    from .rdf import Graph
+    from .resolvers import SemanticBroker, default_resolvers
+    from .resolvers.resilience import (
+        FlakyResolver,
+        RetryPolicy,
+        wrap_resilient,
+    )
+    from .workloads import (
+        WorkloadConfig,
+        generate_workload,
+        populate_platform,
+    )
+
+    if args.contents <= 0:
+        print("error: --contents must be positive", file=sys.stderr)
+        return 2
+    if args.workers <= 0 or args.batch_size <= 0:
+        print("error: --workers and --batch-size must be positive",
+              file=sys.stderr)
+        return 2
+
+    platform = Platform()
+    workload = generate_workload(WorkloadConfig(
+        n_users=max(10, args.contents // 50),
+        n_contents=args.contents,
+        cities=("Turin",),
+        seed=42,
+    ))
+    populate_platform(platform, workload)
+
+    corpus = build_lod_corpus()
+    resolvers = default_resolvers(corpus)
+    if args.latency:
+        resolvers = [
+            FlakyResolver(r, failure_rate=0.0, latency=args.latency)
+            for r in resolvers
+        ]
+    if args.fail is not None:
+        name, _, rate_text = args.fail.partition(":")
+        try:
+            rate = float(rate_text) if rate_text else 1.0
+        except ValueError:
+            print(f"error: bad failure rate {rate_text!r}",
+                  file=sys.stderr)
+            return 2
+        known = {r.name for r in resolvers}
+        if name not in known:
+            print(f"error: unknown resolver {name!r} "
+                  f"(known: {', '.join(sorted(known))})",
+                  file=sys.stderr)
+            return 2
+        resolvers = [
+            FlakyResolver(r, failure_rate=rate, seed=args.seed)
+            if r.name == name else r
+            for r in resolvers
+        ]
+    if not args.no_resilience:
+        resolvers = wrap_resilient(
+            resolvers,
+            retry=RetryPolicy(
+                attempts=max(1, args.retries),
+                base_delay=0.001,
+                max_delay=0.05,
+            ),
+            timeout=args.timeout,
+        )
+    platform.annotator = SemanticAnnotator(
+        SemanticBroker(resolvers), SemanticFilter(corpus)
+    )
+
+    batch = BatchAnnotator(
+        platform, Graph(),
+        batch_size=args.batch_size, workers=args.workers,
+    )
+    started = time.perf_counter()
+    stats = batch.run()
+    elapsed = time.perf_counter() - started
+
+    mode = (
+        f"{args.workers} worker(s)" if args.workers > 1 else "sequential"
+    )
+    print(f"catalog   : {args.contents} item(s), {mode}, "
+          f"batch size {args.batch_size}")
+    print(f"processed : {stats.processed}  annotated: {stats.annotated}"
+          f"  triples: {stats.triples_added}  failed: {stats.failed}")
+    if stats.degraded_items:
+        print(f"degraded  : {stats.degraded_items} item(s) annotated "
+              f"from partial candidates "
+              f"({stats.resolver_failures} isolated resolver "
+              f"failure(s))")
+    if stats.resolver_report:
+        print(f"cache     : {stats.cache_hit_rate:.1%} hit rate "
+              f"({stats.cache_hits} hits / {stats.cache_misses} "
+              f"misses)")
+        print(f"retries   : {stats.retries}  timeouts: {stats.timeouts}"
+              f"  breaker trips: {stats.breaker_trips}")
+        header = (f"{'resolver':<10} {'calls':>6} {'ok':>5} "
+                  f"{'fail':>5} {'retry':>6} {'trips':>6} "
+                  f"{'state':<9} {'mean ms':>8}")
+        print(header)
+        for name in sorted(stats.resolver_report):
+            s = stats.resolver_report[name]
+            print(f"{name:<10} {s.calls:>6} {s.successes:>5} "
+                  f"{s.failures:>5} {s.retries:>6} "
+                  f"{s.breaker_trips:>6} {s.breaker_state:<9} "
+                  f"{s.mean_latency_ms:>8.2f}")
+    rate = stats.processed / elapsed if elapsed else 0.0
+    print(f"elapsed   : {elapsed:.2f} s ({rate:.1f} item(s)/s)")
     return 0
 
 
@@ -363,6 +527,7 @@ def _cmd_explain(args) -> int:
 
 _COMMANDS = {
     "annotate": _cmd_annotate,
+    "annotate-batch": _cmd_annotate_batch,
     "detect": _cmd_detect,
     "query": _cmd_query,
     "demo": _cmd_demo,

@@ -21,6 +21,7 @@ paper's figure does.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -93,11 +94,17 @@ class SemanticAnnotator:
         # concrete concepts via WordNet-style senses
         self.prune_abstract_nouns = prune_abstract_nouns
         self._analyzers: Dict[str, MorphologicalAnalyzer] = {}
+        # annotate() is called concurrently by BatchAnnotator workers;
+        # the per-language analyzer cache is the only state it shares.
+        self._analyzers_lock = threading.Lock()
 
     def _analyzer(self, language: str) -> MorphologicalAnalyzer:
-        if language not in self._analyzers:
-            self._analyzers[language] = MorphologicalAnalyzer(language)
-        return self._analyzers[language]
+        with self._analyzers_lock:
+            if language not in self._analyzers:
+                self._analyzers[language] = MorphologicalAnalyzer(
+                    language
+                )
+            return self._analyzers[language]
 
     # ------------------------------------------------------------------
     def annotate(
@@ -201,13 +208,29 @@ class SemanticAnnotator:
         return None
 
 
-def build_default_annotator(corpus=None, **kwargs) -> SemanticAnnotator:
+def build_default_annotator(
+    corpus=None,
+    resilient: bool = False,
+    resilience: Optional[dict] = None,
+    **kwargs,
+) -> SemanticAnnotator:
     """The annotator over the synthetic LOD corpus with the paper's
-    resolver set and filter defaults."""
+    resolver set and filter defaults.
+
+    With ``resilient=True`` every resolver is wrapped in the
+    retry/breaker/cache layer (:mod:`repro.resolvers.resilience`);
+    ``resilience`` passes keyword arguments through to
+    :func:`~repro.resolvers.resilience.wrap_resilient`.
+    """
     from ..lod import build_lod_corpus
     from ..resolvers import default_resolvers
 
     corpus = corpus or build_lod_corpus()
-    broker = SemanticBroker(default_resolvers(corpus))
+    resolvers = default_resolvers(corpus)
+    if resilient or resilience:
+        from ..resolvers.resilience import wrap_resilient
+
+        resolvers = wrap_resilient(resolvers, **(resilience or {}))
+    broker = SemanticBroker(resolvers)
     semantic_filter = SemanticFilter(corpus)
     return SemanticAnnotator(broker, semantic_filter, **kwargs)

@@ -9,10 +9,26 @@ from .base import (
     Resolver,
     classify_graph,
 )
-from .broker import BrokerResult, SemanticBroker
+from .broker import (
+    BrokerResult,
+    ResolverBroker,
+    ResolverFailure,
+    SemanticBroker,
+)
 from .dbpedia import DBpediaResolver
 from .evri import EvriResolver, build_evri_graph
 from .geonames import GeonamesResolver
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    FlakyResolver,
+    ResilientResolver,
+    ResolverStats,
+    ResolverTimeoutError,
+    RetryPolicy,
+    TTLCache,
+    wrap_resilient,
+)
 from .sindice import SindiceResolver
 from .zemanta import ZemantaResolver
 
@@ -38,18 +54,29 @@ def default_resolvers(corpus=None):
 __all__ = [
     "BrokerResult",
     "Candidate",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "DBpediaResolver",
     "EvriResolver",
+    "FlakyResolver",
     "GRAPH_DBPEDIA",
     "GRAPH_EVRI",
     "GRAPH_GEONAMES",
     "GRAPH_OTHER",
     "GeonamesResolver",
+    "ResilientResolver",
     "Resolver",
+    "ResolverBroker",
+    "ResolverFailure",
+    "ResolverStats",
+    "ResolverTimeoutError",
+    "RetryPolicy",
     "SemanticBroker",
     "SindiceResolver",
+    "TTLCache",
     "ZemantaResolver",
     "build_evri_graph",
     "classify_graph",
     "default_resolvers",
+    "wrap_resilient",
 ]

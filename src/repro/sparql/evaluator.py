@@ -180,7 +180,11 @@ class Evaluator:
 
         version = getattr(self.graph, "_version", None)
         cached = getattr(self.graph, "_stats_cache", None)
-        if cached is not None and cached.fingerprint == version:
+        if (
+            cached is not None
+            and version is not None
+            and cached.fingerprint == version
+        ):
             self._stats = cached
             return cached
         stats = GraphStatistics.collect(self.graph)

@@ -259,3 +259,113 @@ class TestBroker:
         assert len(result.all_candidates()) >= len(
             result.per_word["Turin"]
         )
+
+    def test_resolver_broker_alias(self):
+        from repro.resolvers import ResolverBroker
+
+        assert ResolverBroker is SemanticBroker
+
+
+class _ExplodingResolver:
+    """Raises partway through a word list — after having "yielded"
+    nothing — to exercise per-resolver isolation."""
+
+    name = "exploding"
+    supports_full_text = True
+
+    def resolve_term(self, word, language=None):
+        raise ConnectionError("resolver endpoint down")
+
+    def resolve_text(self, text, language=None):
+        raise TimeoutError("full-text endpoint hung")
+
+
+class TestBrokerIsolation:
+    def test_failing_resolver_does_not_lose_healthy_candidates(
+        self, corpus
+    ):
+        healthy = SemanticBroker(default_resolvers(corpus))
+        broken = SemanticBroker(
+            [_ExplodingResolver()] + default_resolvers(corpus)
+        )
+        words = ["Turin", "Colosseum"]
+        reference = healthy.resolve(words, text="Turin by night")
+        result = broken.resolve(words, text="Turin by night")
+        # the merge still sees everything the healthy resolvers found
+        for word in words:
+            assert [c.resource for c in result.per_word[word]] == [
+                c.resource for c in reference.per_word[word]
+            ]
+        assert [c.resource for c in result.full_text] == [
+            c.resource for c in reference.full_text
+        ]
+
+    def test_failures_recorded_and_degraded_flag(self, corpus):
+        broker = SemanticBroker(
+            [_ExplodingResolver()] + default_resolvers(corpus)
+        )
+        result = broker.resolve(["Turin"], text="Turin")
+        assert result.degraded
+        assert result.failed_resolvers() == ["exploding"]
+        # one failure per word plus one for the full-text phase
+        assert len(result.failures) == 2
+        term_failure = next(
+            f for f in result.failures if f.word == "Turin"
+        )
+        assert term_failure.resolver == "exploding"
+        assert "ConnectionError" in term_failure.error
+        text_failure = next(
+            f for f in result.failures if f.word is None
+        )
+        assert "TimeoutError" in text_failure.error
+
+    def test_healthy_broker_not_degraded(self, corpus):
+        broker = SemanticBroker(default_resolvers(corpus))
+        result = broker.resolve(["Turin"])
+        assert not result.degraded
+        assert result.failures == []
+
+    def test_all_resolvers_failing_yields_empty_candidates(self):
+        broker = SemanticBroker([_ExplodingResolver()])
+        result = broker.resolve(["Turin"], text="Turin")
+        assert result.per_word["Turin"] == []
+        assert result.full_text == []
+        assert result.degraded
+
+
+class TestMergeTieBreak:
+    @staticmethod
+    def _candidate(resolver, score=0.8, resource=DBPR.Turin):
+        return Candidate(
+            resource=resource, label="Turin", score=score,
+            resolver=resolver, word="turin",
+        )
+
+    def test_score_tie_resolves_to_smaller_resolver_name(self):
+        """Contract: "ties resolve by resolver then resource" — the
+        lexicographically *smaller* resolver name wins, regardless of
+        arrival order."""
+        a = self._candidate("aardvark")
+        z = self._candidate("zebra")
+        assert SemanticBroker._merge([a, z])[0].resolver == "aardvark"
+        assert SemanticBroker._merge([z, a])[0].resolver == "aardvark"
+
+    def test_higher_score_still_beats_resolver_order(self):
+        low = self._candidate("aardvark", score=0.5)
+        high = self._candidate("zebra", score=0.9)
+        merged = SemanticBroker._merge([low, high])
+        assert merged[0].resolver == "zebra"
+        assert merged[0].score == 0.9
+
+    def test_merge_output_sorted_by_score_then_resource(self):
+        first = self._candidate(
+            "x", score=0.9, resource=DBPR.Apple
+        )
+        second = self._candidate(
+            "x", score=0.9, resource=DBPR.Banana
+        )
+        third = self._candidate("x", score=0.5, resource=DBPR.Turin)
+        merged = SemanticBroker._merge([third, second, first])
+        assert [c.resource for c in merged] == [
+            DBPR.Apple, DBPR.Banana, DBPR.Turin
+        ]

@@ -24,6 +24,55 @@ class TestAnnotate:
         assert "language : it" in capsys.readouterr().out
 
 
+class TestAnnotateBatch:
+    def test_parallel_report(self, capsys):
+        assert main([
+            "annotate-batch", "--contents", "20",
+            "--workers", "2", "--batch-size", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "catalog   : 20 item(s), 2 worker(s)" in out
+        assert "processed : 20" in out
+        assert "failed: 0" in out
+        assert "cache" in out
+        assert "resolver" in out
+
+    def test_fault_injection_degrades_not_fails(self, capsys):
+        assert main([
+            "annotate-batch", "--contents", "15",
+            "--workers", "2", "--fail", "dbpedia",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "failed: 0" in out
+        assert "degraded  : 15 item(s)" in out
+
+    def test_sequential_without_resilience(self, capsys):
+        assert main([
+            "annotate-batch", "--contents", "10",
+            "--workers", "1", "--no-resilience",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out
+        assert "cache" not in out  # no resilience layer, no counters
+
+    def test_unknown_failing_resolver_exits_2(self, capsys):
+        assert main([
+            "annotate-batch", "--contents", "5", "--fail", "nope",
+        ]) == 2
+        assert "unknown resolver" in capsys.readouterr().err
+
+    def test_bad_failure_rate_exits_2(self, capsys):
+        assert main([
+            "annotate-batch", "--contents", "5",
+            "--fail", "dbpedia:high",
+        ]) == 2
+        assert "bad failure rate" in capsys.readouterr().err
+
+    def test_invalid_contents_exits_2(self, capsys):
+        assert main(["annotate-batch", "--contents", "0"]) == 2
+        assert "--contents" in capsys.readouterr().err
+
+
 class TestDetect:
     def test_detect(self, capsys):
         assert main(
