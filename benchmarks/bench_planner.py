@@ -9,10 +9,9 @@ itself where it matters.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
+from _harness import record, timed_samples
 from repro.core import geo_album, rated_album, social_album
 from repro.sparql import Evaluator
 
@@ -76,20 +75,26 @@ def bench_q3_speedup_guard(benchmark, sized_union_graph):
         == [r["points"].value for r in naive_rows]
     )
 
-    def median_ms(evaluator, repeats=3):
-        samples = []
-        for _ in range(repeats):
-            start = time.perf_counter()
-            evaluator.evaluate(text)
-            samples.append((time.perf_counter() - start) * 1000.0)
-        samples.sort()
-        return samples[len(samples) // 2]
-
-    opt_ms = median_ms(optimized)
-    naive_ms = median_ms(naive)
+    opt_samples = timed_samples(
+        lambda: optimized.evaluate(text), repeats=3
+    )
+    naive_samples = timed_samples(
+        lambda: naive.evaluate(text), repeats=3
+    )
+    opt_ms = sorted(opt_samples)[len(opt_samples) // 2]
+    naive_ms = sorted(naive_samples)[len(naive_samples) // 2]
     benchmark.extra_info["contents"] = size
     benchmark.extra_info["optimized_ms"] = round(opt_ms, 2)
     benchmark.extra_info["naive_ms"] = round(naive_ms, 2)
+    record(
+        f"planner_q3_n{size}",
+        opt_samples,
+        extra={
+            "contents": size,
+            "naive_median_ms": round(naive_ms, 2),
+            "speedup": round(naive_ms / max(opt_ms, 1e-9), 2),
+        },
+    )
     if size >= 5000:
         assert naive_ms >= 2.0 * opt_ms, (
             f"Q3 at {size}: optimized {opt_ms:.1f} ms vs naive "

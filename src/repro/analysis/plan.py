@@ -1238,9 +1238,19 @@ def explain(
     optimized_ms = None
     naive_ms = None
     if execute and isinstance(query, SelectQuery):
-        start = time.perf_counter()
-        rows = evaluator._exec_select_plan(query, planned.plan)
-        optimized_ms = (time.perf_counter() - start) * 1000.0
+        # per-node wall-time accounting (PlanNode.actual_ms / the
+        # plan.* spans) is normally off — EXPLAIN is the one consumer
+        # that always wants it
+        previous_timing = getattr(
+            evaluator, "_time_plan_nodes", False
+        )
+        evaluator._time_plan_nodes = True
+        try:
+            start = time.perf_counter()
+            rows = evaluator._exec_select_plan(query, planned.plan)
+            optimized_ms = (time.perf_counter() - start) * 1000.0
+        finally:
+            evaluator._time_plan_nodes = previous_timing
         row_count = len(rows)
         if compare:
             start = time.perf_counter()

@@ -18,8 +18,10 @@ concrete class uses the exact class count.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, Optional, Set, Tuple
 
+from ..obs import get_registry
 from ..rdf.graph import Graph
 from ..rdf.namespace import GEO, RDF
 from ..rdf.terms import Term, Variable
@@ -73,6 +75,13 @@ class GraphStatistics:
         #: ``Graph._version`` at collection time (staleness detection);
         #: an always-stale sentinel when the graph has no version.
         self.fingerprint: object = None
+        #: Wall-clock time of collection (snapshot age accounting).
+        self.collected_at: float = time.time()
+
+    @property
+    def age_seconds(self) -> float:
+        """Seconds since this snapshot was collected."""
+        return max(time.time() - self.collected_at, 0.0)
 
     @classmethod
     def collect(cls, graph: Graph) -> "GraphStatistics":
@@ -104,6 +113,12 @@ class GraphStatistics:
         # no version counter -> a unique sentinel: never equal to any
         # later observation, so the snapshot can never be served stale.
         stats.fingerprint = version if version is not None else object()
+        # every collection is a (re)build of the planner's statistics;
+        # a hot counter here exposes silent per-query re-scans
+        get_registry().counter(
+            "repro_graph_stats_rebuilds_total",
+            "GraphStatistics collection passes over a live graph.",
+        ).inc()
         return stats
 
     # ------------------------------------------------------------------

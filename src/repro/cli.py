@@ -22,6 +22,22 @@ import sys
 from typing import List, Optional
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """``--trace[=FILE]`` / ``--metrics[=FILE]`` for commands that run
+    instrumented code paths. Use the ``=FILE`` form when the flag is
+    followed by a positional argument."""
+    parser.add_argument(
+        "--trace", nargs="?", const="", default=None, metavar="FILE",
+        help="enable tracing and print the span tree after the run "
+             "(with FILE, also append spans as JSON lines)",
+    )
+    parser.add_argument(
+        "--metrics", nargs="?", const="", default=None, metavar="FILE",
+        help="print the Prometheus metrics exposition after the run "
+             "(with FILE, write it to FILE instead)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -45,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--lang", default=None,
         help="skip language detection and use this code",
     )
+    _add_obs_flags(annotate)
 
     batch = sub.add_parser(
         "annotate-batch",
@@ -89,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None,
         help="per-call resolver timeout in seconds (default: none)",
     )
+    _add_obs_flags(batch)
 
     detect = sub.add_parser(
         "detect", help="identify the language of a text"
@@ -100,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("file", help="N-Triples input ('-' for stdin)")
     query.add_argument("sparql")
+    _add_obs_flags(query)
 
     sub.add_parser(
         "demo", help="run the Turin eTourism walkthrough"
@@ -162,6 +181,21 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--compare", action="store_true",
         help="also run and time the naive evaluation path",
+    )
+    _add_obs_flags(explain)
+
+    obs = sub.add_parser(
+        "obs", help="observability utilities (tracing + metrics)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_demo = obs_sub.add_parser(
+        "demo",
+        help="annotate the gold workload under tracing and print the "
+             "Figure 1 stage-latency breakdown",
+    )
+    obs_demo.add_argument(
+        "--tree", action="store_true",
+        help="also print the span tree of the first annotated title",
     )
     return parser
 
@@ -525,6 +559,142 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    if args.obs_command == "demo":
+        return _cmd_obs_demo(args)
+    print(f"error: unknown obs command {args.obs_command!r}",
+          file=sys.stderr)
+    return 2
+
+
+def _cmd_obs_demo(args) -> int:
+    """Annotate the gold workload under an enabled tracer and report
+    where the Figure 1 pipeline spends its time."""
+    import time
+
+    from .core import build_default_annotator
+    from .core.annotator import STAGE_HISTOGRAM
+    from .obs import (
+        InMemorySpanExporter,
+        MetricsRegistry,
+        Tracer,
+        render_span_tree,
+        set_registry,
+        set_tracer,
+    )
+    from .workloads import GOLD_CORPUS
+
+    registry = MetricsRegistry()
+    buffer = InMemorySpanExporter(capacity=65536)
+    previous_registry = set_registry(registry)
+    previous_tracer = set_tracer(
+        Tracer(enabled=True, exporters=[buffer])
+    )
+    try:
+        annotator = build_default_annotator()
+        started = time.perf_counter()
+        for example in GOLD_CORPUS:
+            annotator.annotate(example.title, example.tags)
+        total_s = time.perf_counter() - started
+    finally:
+        set_tracer(previous_tracer)
+        set_registry(previous_registry)
+
+    print(f"gold workload: {len(GOLD_CORPUS)} title(s) annotated in "
+          f"{total_s * 1000.0:.1f} ms")
+    family = registry.get(STAGE_HISTOGRAM)
+    if family is not None:
+        print()
+        print(f"{'stage':<12} {'calls':>6} {'total ms':>9} "
+              f"{'mean ms':>8} {'p95 ms':>8} {'max ms':>8} "
+              f"{'share':>6}")
+        rows = []
+        for labels, child in family.children():
+            rows.append((labels.get("stage", "?"), child))
+        accounted = sum(child.sum for _, child in rows)
+        for stage, child in sorted(
+            rows, key=lambda pair: -pair[1].sum
+        ):
+            share = child.sum / accounted if accounted else 0.0
+            print(f"{stage:<12} {child.count:>6} "
+                  f"{child.sum * 1000.0:>9.1f} "
+                  f"{child.mean * 1000.0:>8.2f} "
+                  f"{child.quantile(0.95) * 1000.0:>8.2f} "
+                  f"{child.max * 1000.0:>8.2f} "
+                  f"{share:>6.1%}")
+        print(f"{'(stages)':<12} {'':>6} {accounted * 1000.0:>9.1f}")
+    if args.tree:
+        spans = buffer.spans()
+        roots = [
+            s for s in spans
+            if s.name == "annotate" and s.parent_id is None
+        ]
+        if roots:
+            first = roots[0]
+            members = [
+                s for s in spans if s.trace_id == first.trace_id
+            ]
+            print()
+            print("== first title's span tree ==")
+            print(render_span_tree(members))
+    return 0
+
+
+def _obs_begin(args):
+    """Install an enabled tracer when ``--trace`` was given; returns
+    the state _obs_end needs (or None when tracing stays off)."""
+    if getattr(args, "trace", None) is None:
+        return None
+    from .obs import (
+        InMemorySpanExporter,
+        JsonLinesExporter,
+        Tracer,
+        set_tracer,
+    )
+
+    buffer = InMemorySpanExporter(capacity=65536)
+    exporters = [buffer]
+    file_exporter = None
+    if args.trace:
+        file_exporter = JsonLinesExporter(args.trace)
+        exporters.append(file_exporter)
+    previous = set_tracer(Tracer(enabled=True, exporters=exporters))
+    return {
+        "buffer": buffer,
+        "file": file_exporter,
+        "previous": previous,
+    }
+
+
+def _obs_end(obs, args) -> None:
+    """Print/dump the trace and metrics the command accumulated."""
+    if obs is not None:
+        from .obs import render_span_tree, set_tracer
+
+        set_tracer(obs["previous"])
+        if obs["file"] is not None:
+            obs["file"].close()
+        spans = obs["buffer"].spans()
+        if spans:
+            print()
+            print("== trace ==")
+            print(render_span_tree(spans))
+            if obs["buffer"].dropped:
+                print(f"({obs['buffer'].dropped} older span(s) "
+                      f"evicted from the ring buffer)")
+    if getattr(args, "metrics", None) is not None:
+        from .obs import get_registry
+
+        text = get_registry().prometheus()
+        if args.metrics:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        else:
+            print()
+            print("== metrics ==")
+            print(text, end="")
+
+
 _COMMANDS = {
     "annotate": _cmd_annotate,
     "annotate-batch": _cmd_annotate_batch,
@@ -534,12 +704,17 @@ _COMMANDS = {
     "dump": _cmd_dump,
     "lint": _cmd_lint,
     "explain": _cmd_explain,
+    "obs": _cmd_obs,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    obs = _obs_begin(args)
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        _obs_end(obs, args)
 
 
 if __name__ == "__main__":  # pragma: no cover

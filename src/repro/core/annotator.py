@@ -22,15 +22,34 @@ paper's figure does.
 from __future__ import annotations
 
 import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..nlp.langdetect import LanguageDetector, default_detector
 from ..nlp.morpho import MorphologicalAnalyzer
 from ..nlp.termfreq import relevant_words
+from ..obs import get_registry, get_tracer
 from ..resolvers.base import Candidate
 from ..resolvers.broker import BrokerResult, SemanticBroker
 from .filtering import FilterOutcome, SemanticFilter
+
+#: One histogram family shared by every annotator instance; the
+#: ``stage`` label carries the Figure 1 stage name.
+STAGE_HISTOGRAM = "repro_annotation_stage_seconds"
+STAGE_HISTOGRAM_HELP = (
+    "Latency of each Figure 1 annotation pipeline stage."
+)
+
+
+@contextmanager
+def _stage(tracer, histogram, stage: str):
+    """Bracket one pipeline stage: span + stage-latency observation."""
+    begin = time.perf_counter()
+    with tracer.span(f"annotate.{stage}"):
+        yield
+    histogram.labels(stage=stage).observe(time.perf_counter() - begin)
 
 
 @dataclass(frozen=True)
@@ -114,87 +133,113 @@ class SemanticAnnotator:
         language: Optional[str] = None,
     ) -> AnnotationResult:
         """Run the full pipeline for a content's title and plain tags."""
-        detected = language or self.detector.detect(title)
-        result = AnnotationResult(
-            title=title, plain_tags=list(tags), language=detected
+        tracer = get_tracer()
+        histogram = get_registry().histogram(
+            STAGE_HISTOGRAM, STAGE_HISTOGRAM_HELP
         )
+        with tracer.span("annotate") as pipeline_span:
+            pipeline_span.set_attribute("title", title)
 
-        # --- stage 1: text processing ---------------------------------
-        analyzer = self._analyzer(detected)
-        np_tokens = analyzer.proper_nouns(title, self.np_min_score)
-        result.np_lemmas = [t.lemma for t in np_tokens]
-        covered = {lemma.lower() for lemma in result.np_lemmas}
-        for lemma in result.np_lemmas:
-            covered.update(part.lower() for part in lemma.split())
-        if self.term_freq_top_k > 0:
-            result.frequency_words = relevant_words(
-                title,
-                detected,
-                top_k=self.term_freq_top_k,
-                exclude=covered,
+            with _stage(tracer, histogram, "langdetect"):
+                detected = language or self.detector.detect(title)
+            result = AnnotationResult(
+                title=title, plain_tags=list(tags), language=detected
             )
-            if self.prune_abstract_nouns:
-                from ..nlp.senses import prune_abstract
 
-                result.frequency_words = prune_abstract(
-                    result.frequency_words, detected
+            # --- stage 1: text processing -----------------------------
+            with _stage(tracer, histogram, "morpho"):
+                analyzer = self._analyzer(detected)
+                np_tokens = analyzer.proper_nouns(
+                    title, self.np_min_score
                 )
-
-        words: List[str] = []
-        seen = set()
-        for word in (
-            result.np_lemmas + list(tags) + result.frequency_words
-        ):
-            word = word.strip()
-            if word and word.lower() not in seen:
-                seen.add(word.lower())
-                words.append(word)
-        result.words = words
-
-        # --- stage 2: semantic brokering -------------------------------
-        broker_result = self.broker.resolve(
-            words,
-            text=title if self.use_full_text else None,
-            language=detected,
-        )
-        result.broker_result = broker_result
-
-        # full-text candidates corroborate existing words or add new ones
-        per_word: Dict[str, List[Candidate]] = {
-            word: list(candidates)
-            for word, candidates in broker_result.per_word.items()
-        }
-        for candidate in broker_result.full_text:
-            target = self._matching_word(candidate, words)
-            if target is None:
-                target = candidate.word
-                if target.lower() in {w.lower() for w in per_word}:
-                    target = next(
-                        w for w in per_word
-                        if w.lower() == target.lower()
-                    )
-                else:
-                    per_word.setdefault(target, [])
-                    result.words.append(target)
-            bucket = per_word.setdefault(target, [])
-            if all(c.resource != candidate.resource for c in bucket):
-                bucket.append(candidate)
-
-        # --- stages 3+4: filtering and annotation ----------------------
-        for word, candidates in per_word.items():
-            outcome = self.filter.filter_word(word, candidates)
-            result.outcomes[word] = outcome
-            if outcome.annotated and outcome.chosen is not None:
-                chosen = outcome.chosen
-                result.annotations.append(
-                    Annotation(
-                        word=word,
-                        resource=chosen.resource,
-                        label=chosen.label,
-                        graph=chosen.graph,
-                        score=chosen.score,
-                    )
+            result.np_lemmas = [t.lemma for t in np_tokens]
+            covered = {lemma.lower() for lemma in result.np_lemmas}
+            for lemma in result.np_lemmas:
+                covered.update(
+                    part.lower() for part in lemma.split()
                 )
+            if self.term_freq_top_k > 0:
+                with _stage(tracer, histogram, "termfreq"):
+                    result.frequency_words = relevant_words(
+                        title,
+                        detected,
+                        top_k=self.term_freq_top_k,
+                        exclude=covered,
+                    )
+                    if self.prune_abstract_nouns:
+                        from ..nlp.senses import prune_abstract
+
+                        result.frequency_words = prune_abstract(
+                            result.frequency_words, detected
+                        )
+
+            words: List[str] = []
+            seen = set()
+            for word in (
+                result.np_lemmas + list(tags) + result.frequency_words
+            ):
+                word = word.strip()
+                if word and word.lower() not in seen:
+                    seen.add(word.lower())
+                    words.append(word)
+            result.words = words
+
+            # --- stage 2: semantic brokering ---------------------------
+            with _stage(tracer, histogram, "broker"):
+                broker_result = self.broker.resolve(
+                    words,
+                    text=title if self.use_full_text else None,
+                    language=detected,
+                )
+            result.broker_result = broker_result
+
+            # full-text candidates corroborate existing words or add
+            # new ones
+            per_word: Dict[str, List[Candidate]] = {
+                word: list(candidates)
+                for word, candidates in broker_result.per_word.items()
+            }
+            for candidate in broker_result.full_text:
+                target = self._matching_word(candidate, words)
+                if target is None:
+                    target = candidate.word
+                    if target.lower() in {w.lower() for w in per_word}:
+                        target = next(
+                            w for w in per_word
+                            if w.lower() == target.lower()
+                        )
+                    else:
+                        per_word.setdefault(target, [])
+                        result.words.append(target)
+                bucket = per_word.setdefault(target, [])
+                if all(
+                    c.resource != candidate.resource for c in bucket
+                ):
+                    bucket.append(candidate)
+
+            # --- stages 3+4: filtering and annotation ------------------
+            with _stage(tracer, histogram, "filter"):
+                for word, candidates in per_word.items():
+                    outcome = self.filter.filter_word(word, candidates)
+                    result.outcomes[word] = outcome
+                    if (
+                        outcome.annotated
+                        and outcome.chosen is not None
+                    ):
+                        chosen = outcome.chosen
+                        result.annotations.append(
+                            Annotation(
+                                word=word,
+                                resource=chosen.resource,
+                                label=chosen.label,
+                                graph=chosen.graph,
+                                score=chosen.score,
+                            )
+                        )
+            pipeline_span.set_attribute("words", len(result.words))
+            pipeline_span.set_attribute(
+                "annotations", len(result.annotations)
+            )
         return result
 
     @staticmethod

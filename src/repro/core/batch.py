@@ -27,6 +27,7 @@ from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs import get_registry, get_tracer
 from ..rdf.graph import Graph
 from ..rdf.namespace import DCTERMS
 
@@ -159,13 +160,18 @@ class BatchAnnotator:
             pending = pending[:max_items]
         stats = self.checkpoint.stats
         baseline = self._resolver_snapshot()
-        if self.workers == 1:
-            outcomes = (
-                (pid, self._annotate_item(pid)) for pid in pending
-            )
-            self._drain(pending, outcomes)
-        else:
-            self._run_parallel(pending)
+        tracer = get_tracer()
+        with tracer.span("batch.run") as root:
+            root.set_attribute("items", len(pending))
+            root.set_attribute("workers", self.workers)
+            if self.workers == 1:
+                outcomes = (
+                    (pid, self._annotate_item(pid, root))
+                    for pid in pending
+                )
+                self._drain(pending, outcomes)
+            else:
+                self._run_parallel(pending, root)
         self._update_resolver_report(stats, baseline)
         return stats
 
@@ -176,15 +182,37 @@ class BatchAnnotator:
     # ------------------------------------------------------------------
     # Item processing (worker side: no shared mutable state)
     # ------------------------------------------------------------------
-    def _annotate_item(self, pid: int):
-        item = self.platform.content(pid)
-        try:
-            result = self.platform.annotator.annotate(
-                item.title, item.plain_tags
+    def _annotate_item(self, pid: int, parent=None):
+        """Annotate one content item.
+
+        ``parent`` is the batch root span: workers run on pool threads
+        whose thread-local span stack is empty, so the cross-thread
+        parent is passed explicitly (sequential runs pass it too, for
+        identical trace shapes).
+        """
+        counter = get_registry().counter(
+            "repro_batch_items_total",
+            "Content items processed by batch annotation runs.",
+        )
+        with get_tracer().span(
+            "batch.item", {"pid": pid}, parent=parent
+        ) as span:
+            item = self.platform.content(pid)
+            try:
+                result = self.platform.annotator.annotate(
+                    item.title, item.plain_tags
+                )
+            except Exception as exc:  # noqa: BLE001 - isolate per item
+                span.set_status(
+                    "error", f"{type(exc).__name__}: {exc}"
+                )
+                counter.labels(outcome="error").inc()
+                return ("error", f"{type(exc).__name__}: {exc}", None)
+            span.set_attribute(
+                "annotations", len(result.annotations)
             )
-        except Exception as exc:  # noqa: BLE001 - isolate per item
-            return ("error", f"{type(exc).__name__}: {exc}", None)
-        return ("ok", item.resource, result)
+            counter.labels(outcome="ok").inc()
+            return ("ok", item.resource, result)
 
     # ------------------------------------------------------------------
     # Recording (single-threaded: graph writes and stats stay ordered)
@@ -214,10 +242,10 @@ class BatchAnnotator:
         if in_batch and self.on_progress is not None:
             self.on_progress(self.checkpoint)
 
-    def _run_parallel(self, pending: List[int]) -> None:
+    def _run_parallel(self, pending: List[int], parent=None) -> None:
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             futures = {
-                pool.submit(self._annotate_item, pid): pid
+                pool.submit(self._annotate_item, pid, parent): pid
                 for pid in pending
             }
             self._drain(

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..lod.datasets import LodCorpus
 from ..lod.dbpedia import is_disambiguation_page
 from ..nlp.similarity import jaro_winkler_ci
+from ..obs import get_registry
 from ..rdf.graph import Graph
 from ..resolvers.base import (
     Candidate,
@@ -109,6 +110,16 @@ class SemanticFilter:
         self, word: str, candidates: Sequence[Candidate]
     ) -> FilterOutcome:
         """Apply all rules to one word's candidate list."""
+        outcome = self._apply_rules(word, candidates)
+        get_registry().counter(
+            "repro_filter_outcomes_total",
+            "Filter verdicts by reason (Figure 1 stages 3-4).",
+        ).labels(reason=outcome.reason.value).inc()
+        return outcome
+
+    def _apply_rules(
+        self, word: str, candidates: Sequence[Candidate]
+    ) -> FilterOutcome:
         if not candidates:
             return FilterOutcome(word, Reason.NO_CANDIDATES)
 

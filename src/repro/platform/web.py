@@ -17,13 +17,51 @@ exposes.
 
 from __future__ import annotations
 
+import functools
 import itertools
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..obs import get_registry, get_tracer
 from .gallery import Platform
 from .identity import OpenIdError, RelyingParty
 from .models import ContentItem
+
+
+def _traced(route: str):
+    """Per-request instrumentation for a :class:`WebInterface` method:
+    a ``web.<route>`` span plus request counter and latency histogram
+    labelled by route."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            began = time.perf_counter()
+            status = "ok"
+            with get_tracer().span(f"web.{route}"):
+                try:
+                    return fn(self, *args, **kwargs)
+                except Exception:
+                    status = "error"
+                    raise
+                finally:
+                    registry = get_registry()
+                    registry.counter(
+                        "repro_web_requests_total",
+                        "Web interface requests by route and status.",
+                    ).labels(route=route, status=status).inc()
+                    registry.histogram(
+                        "repro_web_request_seconds",
+                        "Web interface request latency by route.",
+                    ).labels(route=route).observe(
+                        time.perf_counter() - began
+                    )
+
+        return wrapper
+
+    return decorate
+
 
 #: Substrings that identify 2012-era mobile browsers.
 MOBILE_UA_MARKERS = (
@@ -92,6 +130,7 @@ class WebInterface:
     # ------------------------------------------------------------------
     # Routing (§3: automatic mobile redirect + manual switch back)
     # ------------------------------------------------------------------
+    @_traced("route")
     def route(
         self,
         user_agent: str,
@@ -112,6 +151,7 @@ class WebInterface:
     # ------------------------------------------------------------------
     # Sessions
     # ------------------------------------------------------------------
+    @_traced("login")
     def login_with_openid(
         self, claimed_id: str, user_agent: str = ""
     ) -> WebSession:
@@ -141,6 +181,7 @@ class WebInterface:
     # ------------------------------------------------------------------
     # Profile and social management
     # ------------------------------------------------------------------
+    @_traced("update-profile")
     def update_profile(
         self,
         session: WebSession,
@@ -167,9 +208,11 @@ class WebInterface:
             raise KeyError(f"unknown user: {username}")
         return row
 
+    @_traced("add-friend")
     def add_friend(self, session: WebSession, other: str) -> None:
         self.platform.add_friendship(session.username, other)
 
+    @_traced("friends")
     def friends_of(self, username: str) -> List[str]:
         result = self.platform.db.execute(
             f"SELECT user_b FROM friends WHERE user_a = '{username}' "
@@ -180,6 +223,7 @@ class WebInterface:
     # ------------------------------------------------------------------
     # Content browsing
     # ------------------------------------------------------------------
+    @_traced("browse")
     def browse(
         self,
         page: int = 1,
@@ -216,6 +260,7 @@ class WebInterface:
                 f"{session.username} does not own content #{pid}"
             )
 
+    @_traced("edit-content")
     def edit_content(
         self,
         session: WebSession,
@@ -229,10 +274,12 @@ class WebInterface:
             tags=list(tags) if tags is not None else None,
         )
 
+    @_traced("delete-content")
     def delete_content(self, session: WebSession, pid: int) -> None:
         self._require_owner(session, pid)
         self.platform.delete_content(pid)
 
+    @_traced("annotate-region")
     def annotate_region(
         self,
         session: WebSession,

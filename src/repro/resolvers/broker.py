@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..obs import get_registry, get_tracer
 from ..rdf.terms import URIRef
 from .base import Candidate, Resolver
 
@@ -91,36 +92,57 @@ class SemanticBroker:
         what other resolvers already returned. Failures are recorded on
         the result.
         """
+        tracer = get_tracer()
         result = BrokerResult()
-        for word in words:
-            if word in result.per_word:
-                continue
-            collected: List[Candidate] = []
-            for resolver in self.resolvers:
-                try:
-                    collected.extend(resolver.resolve_term(word, language))
-                except Exception as exc:  # noqa: BLE001 - isolate resolver
-                    result.failures.append(ResolverFailure(
-                        resolver=resolver.name,
-                        word=word,
-                        error=f"{type(exc).__name__}: {exc}",
-                    ))
-            result.per_word[word] = self._merge(collected)
-        if text:
-            collected = []
-            for resolver in self.resolvers:
-                if not resolver.supports_full_text:
+        with tracer.span("broker.resolve") as span:
+            for word in words:
+                if word in result.per_word:
                     continue
-                try:
-                    collected.extend(resolver.resolve_text(text, language))
-                except Exception as exc:  # noqa: BLE001 - isolate resolver
-                    result.failures.append(ResolverFailure(
-                        resolver=resolver.name,
-                        word=None,
-                        error=f"{type(exc).__name__}: {exc}",
-                    ))
-            result.full_text = self._merge(collected)
+                collected: List[Candidate] = []
+                for resolver in self.resolvers:
+                    try:
+                        collected.extend(
+                            resolver.resolve_term(word, language)
+                        )
+                    except Exception as exc:  # noqa: BLE001 - isolate
+                        self._record_failure(
+                            result, resolver.name, word, exc
+                        )
+                result.per_word[word] = self._merge(collected)
+            if text:
+                collected = []
+                for resolver in self.resolvers:
+                    if not resolver.supports_full_text:
+                        continue
+                    try:
+                        collected.extend(
+                            resolver.resolve_text(text, language)
+                        )
+                    except Exception as exc:  # noqa: BLE001 - isolate
+                        self._record_failure(
+                            result, resolver.name, None, exc
+                        )
+                result.full_text = self._merge(collected)
+            span.set_attribute("words", len(result.per_word))
+            span.set_attribute("failures", len(result.failures))
         return result
+
+    @staticmethod
+    def _record_failure(
+        result: BrokerResult,
+        resolver: str,
+        word: Optional[str],
+        exc: BaseException,
+    ) -> None:
+        result.failures.append(ResolverFailure(
+            resolver=resolver,
+            word=word,
+            error=f"{type(exc).__name__}: {exc}",
+        ))
+        get_registry().counter(
+            "repro_broker_failures_total",
+            "Isolated resolver failures during broker passes.",
+        ).labels(resolver=resolver).inc()
 
     def resolver_stats(self) -> Dict[str, object]:
         """Per-resolver resilience counters, for resolvers that expose

@@ -32,12 +32,14 @@ workers.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..obs import get_registry, get_tracer
 from .base import Candidate, Resolver
 
 __all__ = [
@@ -344,6 +346,52 @@ class ResolverStats:
 # ----------------------------------------------------------------------
 # The resilient wrapper
 # ----------------------------------------------------------------------
+#: Registry counter families backing :class:`ResolverStats` fields.
+#: Children carry ``{resolver, instance}`` labels; the ``instance``
+#: label is unique per wrapper, so a fresh resolver reads zero even
+#: though the registry is process-wide.
+_RESOLVER_COUNTERS: Dict[str, Tuple[str, str]] = {
+    "calls": (
+        "repro_resolver_calls_total",
+        "Resolver invocations that ran (not served from cache).",
+    ),
+    "successes": (
+        "repro_resolver_successes_total",
+        "Resolver invocations that returned.",
+    ),
+    "failures": (
+        "repro_resolver_failures_total",
+        "Guarded calls that raised after exhausting retries or were "
+        "rejected by an open breaker.",
+    ),
+    "retries": (
+        "repro_resolver_retries_total",
+        "Extra attempts after a failed one.",
+    ),
+    "timeouts": (
+        "repro_resolver_timeouts_total",
+        "Resolver invocations that exceeded the per-call deadline.",
+    ),
+    "rejected": (
+        "repro_resolver_rejected_total",
+        "Calls skipped because the circuit breaker was open.",
+    ),
+}
+
+_RESOLVER_LATENCY = (
+    "repro_resolver_latency_seconds",
+    "Wall time spent inside the wrapped resolver, per invocation.",
+)
+
+_BREAKER_STATE_CODES = {
+    BREAKER_CLOSED: 0,
+    BREAKER_HALF_OPEN: 1,
+    BREAKER_OPEN: 2,
+}
+
+_INSTANCE_IDS = itertools.count(1)
+
+
 class ResilientResolver(Resolver):
     """Hardens an inner resolver with timeout/retry/breaker/cache.
 
@@ -377,7 +425,15 @@ class ResilientResolver(Resolver):
         self._clock = clock
         self._sleep = sleep
         self._lock = threading.Lock()
-        self._stats = ResolverStats(name=inner.name)
+        # counters live in the obs registry (see _RESOLVER_COUNTERS);
+        # the unique instance label keeps this wrapper's view at zero
+        # regardless of what earlier instances accumulated there.
+        self._instance = str(next(_INSTANCE_IDS))
+        self._last_error: Optional[str] = None
+        # hot-path span constants: resolvers are called once per word
+        # per resolver, so skip per-call f-strings and dict literals
+        self._span_name = f"resolver.{self.name}"
+        self._span_attrs = {"instance": self._instance}
 
     # -- Resolver interface --------------------------------------------
     def resolve_term(
@@ -400,16 +456,76 @@ class ResilientResolver(Resolver):
     def supports_full_text(self) -> bool:
         return self.inner.supports_full_text
 
+    # -- Metrics plumbing ----------------------------------------------
+    def _labels(self) -> Dict[str, str]:
+        return {"resolver": self.name, "instance": self._instance}
+
+    def _counter(self, which: str):
+        name, help = _RESOLVER_COUNTERS[which]
+        return get_registry().counter(name, help).labels(
+            **self._labels()
+        )
+
+    def _latency(self):
+        name, help = _RESOLVER_LATENCY
+        return get_registry().histogram(name, help).labels(
+            **self._labels()
+        )
+
+    def _refresh_gauges(self) -> None:
+        """Mirror breaker/cache state into registry gauges so the
+        Prometheus exposition carries them (their source of truth stays
+        on :class:`CircuitBreaker` / :class:`TTLCache`)."""
+        registry = get_registry()
+        labels = self._labels()
+        registry.gauge(
+            "repro_resolver_breaker_state",
+            "Circuit breaker state (0=closed, 1=half-open, 2=open).",
+        ).labels(**labels).set(
+            _BREAKER_STATE_CODES.get(self.breaker.state, 2)
+        )
+        registry.gauge(
+            "repro_resolver_breaker_trips",
+            "Times the circuit breaker tripped open.",
+        ).labels(**labels).set(self.breaker.trips)
+        if self.cache is not None:
+            registry.gauge(
+                "repro_resolver_cache_hits",
+                "Resolver cache hits.",
+            ).labels(**labels).set(self.cache.hits)
+            registry.gauge(
+                "repro_resolver_cache_misses",
+                "Resolver cache misses.",
+            ).labels(**labels).set(self.cache.misses)
+
     # -- Machinery -----------------------------------------------------
     def stats(self) -> ResolverStats:
-        """A consistent snapshot of the counters."""
+        """A consistent snapshot of the counters.
+
+        Counter values are sourced from the obs registry (this wrapper
+        is just a labelled view over them); breaker and cache state are
+        read from their owning objects, exactly as before.
+        """
+        latency = self._latency()
+        snapshot = ResolverStats(
+            name=self.name,
+            calls=int(self._counter("calls").value),
+            successes=int(self._counter("successes").value),
+            failures=int(self._counter("failures").value),
+            retries=int(self._counter("retries").value),
+            timeouts=int(self._counter("timeouts").value),
+            rejected=int(self._counter("rejected").value),
+            latency_total=latency.sum,
+            latency_max=latency.max,
+        )
         with self._lock:
-            snapshot = ResolverStats(**vars(self._stats))
+            snapshot.last_error = self._last_error
         snapshot.breaker_state = self.breaker.state
         snapshot.breaker_trips = self.breaker.trips
         if self.cache is not None:
             snapshot.cache_hits = self.cache.hits
             snapshot.cache_misses = self.cache.misses
+        self._refresh_gauges()
         return snapshot
 
     def _guarded(
@@ -420,10 +536,15 @@ class ResilientResolver(Resolver):
             if hit:
                 return list(value)
 
+        with get_tracer().span(self._span_name, self._span_attrs):
+            return self._guarded_uncached(key, call)
+
+    def _guarded_uncached(
+        self, key: Tuple[Any, ...], call: Callable[[], List[Candidate]]
+    ) -> List[Candidate]:
         if not self.breaker.allow():
-            with self._lock:
-                self._stats.rejected += 1
-                self._stats.failures += 1
+            self._counter("rejected").inc()
+            self._counter("failures").inc()
             raise CircuitOpenError(
                 f"{self.name}: circuit open, call rejected"
             )
@@ -432,13 +553,11 @@ class ResilientResolver(Resolver):
         error: Optional[BaseException] = None
         for attempt in range(self.retry.attempts):
             if attempt:
-                with self._lock:
-                    self._stats.retries += 1
+                self._counter("retries").inc()
                 self._sleep(self.retry.delay(attempt - 1, retry_key))
                 if not self.breaker.allow():
-                    with self._lock:
-                        self._stats.rejected += 1
-                        self._stats.failures += 1
+                    self._counter("rejected").inc()
+                    self._counter("failures").inc()
                     raise CircuitOpenError(
                         f"{self.name}: circuit opened during retries"
                     )
@@ -448,34 +567,26 @@ class ResilientResolver(Resolver):
             except Exception as exc:  # noqa: BLE001 - resolver fault
                 error = exc
                 self.breaker.record_failure()
+                self._counter("calls").inc()
+                if isinstance(exc, ResolverTimeoutError):
+                    self._counter("timeouts").inc()
                 with self._lock:
-                    self._stats.calls += 1
-                    if isinstance(exc, ResolverTimeoutError):
-                        self._stats.timeouts += 1
-                    self._stats.last_error = (
-                        f"{type(exc).__name__}: {exc}"
-                    )
-                    self._record_latency(self._clock() - started)
+                    self._last_error = f"{type(exc).__name__}: {exc}"
+                self._latency().observe(
+                    max(self._clock() - started, 0.0)
+                )
                 continue
             self.breaker.record_success()
-            with self._lock:
-                self._stats.calls += 1
-                self._stats.successes += 1
-                self._record_latency(self._clock() - started)
+            self._counter("calls").inc()
+            self._counter("successes").inc()
+            self._latency().observe(max(self._clock() - started, 0.0))
             if self.cache is not None:
                 self.cache.put(key, list(value))
             return list(value)
 
-        with self._lock:
-            self._stats.failures += 1
+        self._counter("failures").inc()
         assert error is not None
         raise error
-
-    def _record_latency(self, elapsed: float) -> None:
-        # caller holds self._lock
-        elapsed = max(elapsed, 0.0)
-        self._stats.latency_total += elapsed
-        self._stats.latency_max = max(self._stats.latency_max, elapsed)
 
     def _timed_call(
         self, call: Callable[[], List[Candidate]]

@@ -68,11 +68,15 @@ class PlanNode:
     group-graph-pattern semantics the evaluator implements.
     """
 
-    __slots__ = ("est_rows", "actual_rows")
+    __slots__ = ("est_rows", "actual_rows", "actual_ms")
 
     def __init__(self) -> None:
         self.est_rows: Optional[float] = None
         self.actual_rows: Optional[int] = None
+        # inclusive wall time spent producing this node's solutions,
+        # in milliseconds — filled only when the evaluator times plan
+        # nodes (EXPLAIN, or an enabled tracer)
+        self.actual_ms: Optional[float] = None
 
     def children(self) -> Sequence["PlanNode"]:
         return ()
@@ -598,6 +602,8 @@ def _annotation(node: PlanNode) -> str:
         parts.append(f"est={_fmt_rows(node.est_rows)}")
     if node.actual_rows is not None:
         parts.append(f"actual={node.actual_rows}")
+    if node.actual_ms is not None:
+        parts.append(f"ms={node.actual_ms:.2f}")
     return ("  [" + " ".join(parts) + "]") if parts else ""
 
 

@@ -17,8 +17,10 @@ rejects the solution; an ORDER BY key that errors sorts lowest.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs import get_registry, get_tracer
 from ..rdf.graph import Dataset, Graph
 from ..rdf.terms import BNode, Literal, Term, URIRef, Variable
 from .algebra import (
@@ -128,6 +130,13 @@ class Evaluator:
         self.optimize = optimize
         self._planner = planner
         self._stats = None
+        # when true, _exec_node/_exec_modifier accumulate inclusive
+        # wall time on each plan node (PlanNode.actual_ms) and emit
+        # plan-node spans; EXPLAIN turns it on for its run, and an
+        # enabled tracer turns it on for every evaluation. Off by
+        # default: per-solution clock reads are measurable on hot
+        # queries.
+        self._time_plan_nodes = False
 
     # ------------------------------------------------------------------
     # Entry points
@@ -142,15 +151,33 @@ class Evaluator:
             query = parse_query(query)
         if self.strict:
             self._lint(query)
-        if isinstance(query, SelectQuery):
-            return self._eval_select(query)
-        if isinstance(query, AskQuery):
-            return self._eval_ask(query)
-        if isinstance(query, ConstructQuery):
-            return self._eval_construct(query)
-        if isinstance(query, DescribeQuery):
-            return self._eval_describe(query)
-        raise SparqlEvalError(f"unsupported query form: {query!r}")
+        tracer = get_tracer()
+        form = type(query).__name__.replace("Query", "").upper()
+        began = time.perf_counter()
+        with tracer.span("sparql.evaluate", {"form": form}):
+            previous_timing = self._time_plan_nodes
+            if tracer.enabled:
+                self._time_plan_nodes = True
+            try:
+                if isinstance(query, SelectQuery):
+                    result = self._eval_select(query)
+                elif isinstance(query, AskQuery):
+                    result = self._eval_ask(query)
+                elif isinstance(query, ConstructQuery):
+                    result = self._eval_construct(query)
+                elif isinstance(query, DescribeQuery):
+                    result = self._eval_describe(query)
+                else:
+                    raise SparqlEvalError(
+                        f"unsupported query form: {query!r}"
+                    )
+            finally:
+                self._time_plan_nodes = previous_timing
+        get_registry().histogram(
+            "repro_query_seconds",
+            "End-to-end SPARQL evaluation latency.",
+        ).labels(form=form).observe(time.perf_counter() - began)
+        return result
 
     def _lint(self, query) -> None:
         """Strict mode: refuse to evaluate queries with error diagnostics."""
@@ -186,6 +213,7 @@ class Evaluator:
             and cached.fingerprint == version
         ):
             self._stats = cached
+            self._observe_stats_age(cached)
             return cached
         stats = GraphStatistics.collect(self.graph)
         self._stats = stats
@@ -193,7 +221,18 @@ class Evaluator:
             self.graph._stats_cache = stats
         except AttributeError:  # pragma: no cover - exotic graphs
             pass
+        self._observe_stats_age(stats)
         return stats
+
+    @staticmethod
+    def _observe_stats_age(stats) -> None:
+        age = getattr(stats, "age_seconds", None)
+        if age is not None:
+            get_registry().gauge(
+                "repro_graph_stats_age_seconds",
+                "Age of the planner's graph-statistics snapshot at "
+                "last use.",
+            ).set(age)
 
     def _plan(self, query, name: Optional[str] = None):
         """Lower and rewrite ``query`` with the static planner."""
@@ -793,7 +832,7 @@ class Evaluator:
         :meth:`_select_rows` operation for operation."""
         return self._exec_modifier(plan)
 
-    def _exec_modifier(self, node: PlanNode) -> List[Row]:
+    def _exec_modifier_inner(self, node: PlanNode) -> List[Row]:
         if isinstance(node, SliceNode):
             rows = self._exec_modifier(node.child)
             if node.offset:
@@ -837,6 +876,28 @@ class Evaluator:
         node.actual_rows = (node.actual_rows or 0) + len(rows)
         return rows
 
+    def _exec_modifier(self, node: PlanNode) -> List[Row]:
+        if not self._time_plan_nodes or not isinstance(
+            node,
+            (
+                SliceNode, DistinctNode, ProjectNode, OrderNode,
+                AggregateNode,
+            ),
+        ):
+            # non-modifier roots fall through to _exec_node, which
+            # does its own per-node timing — no double counting
+            return self._exec_modifier_inner(node)
+        began = time.perf_counter()
+        rows = self._exec_modifier_inner(node)
+        elapsed = time.perf_counter() - began
+        node.actual_ms = (node.actual_ms or 0.0) + elapsed * 1000.0
+        get_tracer().record_span(
+            f"plan.{type(node).__name__}",
+            elapsed,
+            {"rows": len(rows)},
+        )
+        return rows
+
     def _exec_node(
         self,
         node: PlanNode,
@@ -845,9 +906,50 @@ class Evaluator:
     ) -> Iterator[Bindings]:
         if node.actual_rows is None:
             node.actual_rows = 0
-        for binding in self._exec_node_inner(node, solutions, graph):
+        if not self._time_plan_nodes:
+            for binding in self._exec_node_inner(node, solutions, graph):
+                node.actual_rows += 1
+                yield binding
+            return
+        yield from self._exec_node_timed(node, solutions, graph)
+
+    def _exec_node_timed(
+        self,
+        node: PlanNode,
+        solutions: Iterator[Bindings],
+        graph: Graph,
+    ) -> Iterator[Bindings]:
+        """Like :meth:`_exec_node` but accumulates the *inclusive* wall
+        time spent inside the node's generator (time in child nodes
+        counts toward their ancestors too, matching span semantics) and
+        emits one plan-node span when the node is exhausted."""
+        if node.actual_ms is None:
+            node.actual_ms = 0.0
+        inner = self._exec_node_inner(node, solutions, graph)
+        produced = 0
+        elapsed = 0.0
+        while True:
+            began = time.perf_counter()
+            try:
+                binding = next(inner)
+            except StopIteration:
+                step = time.perf_counter() - began
+                elapsed += step
+                node.actual_ms += step * 1000.0
+                break
+            step = time.perf_counter() - began
+            elapsed += step
+            # accumulate per step: a partially-consumed generator
+            # (ASK, LIMIT upstream) still leaves its time on the node
+            node.actual_ms += step * 1000.0
             node.actual_rows += 1
+            produced += 1
             yield binding
+        get_tracer().record_span(
+            f"plan.{type(node).__name__}",
+            elapsed,
+            {"rows": produced},
+        )
 
     def _exec_node_inner(
         self,

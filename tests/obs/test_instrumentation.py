@@ -1,0 +1,279 @@
+"""Cross-component instrumentation contracts.
+
+Pins the behaviors the observability PR promises: annotation stage
+spans that sum to the pipeline total, cross-thread span propagation in
+the batch annotator, EXPLAIN actual timings sourced from plan-node
+spans, ResolverStats re-based on the metrics registry, and the
+GraphStatistics rebuild counter.
+"""
+
+import pytest
+
+from repro.core import BatchAnnotator, build_default_annotator
+from repro.core.annotator import STAGE_HISTOGRAM
+from repro.lod import build_lod_corpus
+from repro.platform import Platform
+from repro.rdf import (
+    FOAF,
+    Graph,
+    Literal,
+    RDF,
+    SIOCT,
+)
+from repro.resolvers import (
+    FlakyResolver,
+    default_resolvers,
+    wrap_resilient,
+)
+from repro.sparql import Evaluator
+from repro.workloads import (
+    WorkloadConfig,
+    generate_workload,
+    populate_platform,
+)
+
+pytestmark = pytest.mark.usefixtures("obs_registry")
+
+
+def small_platform(n_contents=12):
+    platform = Platform()
+    workload = generate_workload(WorkloadConfig(
+        n_users=4, n_contents=n_contents, cities=("Turin",), seed=11,
+    ))
+    populate_platform(platform, workload)
+    return platform
+
+
+QUERY = """
+SELECT ?pic ?who WHERE {
+  ?pic <http://www.w3.org/1999/02/22-rdf-syntax-ns#type>
+       <http://rdfs.org/sioc/types#MicroblogPost> .
+  ?pic <http://xmlns.com/foaf/0.1/maker> ?who .
+}
+"""
+
+
+def tiny_graph():
+    g = Graph()
+    for i in range(5):
+        pic = f"http://example.org/pic/{i}"
+        g.add((pic, RDF.type, SIOCT.MicroblogPost))
+        g.add((pic, FOAF.maker, "http://example.org/u/w"))
+        g.add((pic, FOAF.name, Literal(f"pic {i}")))
+    return g
+
+
+# ----------------------------------------------------------------------
+# Figure-1 pipeline stages
+# ----------------------------------------------------------------------
+class TestAnnotatorStages:
+    def test_stage_spans_nest_and_sum_to_total(self, obs_tracer,
+                                               span_buffer):
+        annotator = build_default_annotator()
+        annotator.annotate("Tramonto sulla Mole Antonelliana")
+        spans = span_buffer.spans()
+        root = next(s for s in spans if s.name == "annotate")
+        stages = [
+            s for s in spans
+            if s.name.startswith("annotate.")
+            and s.parent_id == root.span_id
+        ]
+        assert {s.name for s in stages} >= {
+            "annotate.langdetect", "annotate.morpho",
+            "annotate.broker", "annotate.filter",
+        }
+        # per-stage durations account for (almost all of) the total
+        stage_sum = sum(s.duration for s in stages)
+        assert stage_sum <= root.duration
+        assert stage_sum >= 0.5 * root.duration
+
+    def test_stage_histogram_populated(self, obs_tracer,
+                                       obs_registry):
+        annotator = build_default_annotator()
+        annotator.annotate("Mole Antonelliana")
+        family = obs_registry.get(STAGE_HISTOGRAM)
+        stages = {
+            labels["stage"] for labels, _ in family.children()
+        }
+        assert "broker" in stages
+        assert "langdetect" in stages
+
+
+# ----------------------------------------------------------------------
+# Batch annotator: cross-thread propagation (satellite 4)
+# ----------------------------------------------------------------------
+class TestBatchSpanPropagation:
+    def run_batch(self, tracer_buffer, workers):
+        platform = small_platform()
+        batch = BatchAnnotator(
+            platform, Graph(), batch_size=50, workers=workers
+        )
+        stats = batch.run()
+        assert stats.failed == 0
+        spans = tracer_buffer.spans()
+        tracer_buffer.clear()
+        return spans
+
+    def test_parallel_items_parent_to_batch_root(self, obs_tracer,
+                                                 span_buffer):
+        spans = self.run_batch(span_buffer, workers=4)
+        roots = [s for s in spans if s.name == "batch.run"]
+        assert len(roots) == 1
+        root = roots[0]
+        items = [s for s in spans if s.name == "batch.item"]
+        assert items, "no batch.item spans recorded"
+        assert all(
+            s.parent_id == root.span_id for s in items
+        )
+        assert all(s.trace_id == root.trace_id for s in items)
+
+    def test_parallel_and_sequential_traces_match(self, obs_tracer,
+                                                  span_buffer):
+        sequential = self.run_batch(span_buffer, workers=1)
+        parallel = self.run_batch(span_buffer, workers=4)
+
+        def names(spans):
+            counts = {}
+            for span in spans:
+                counts[span.name] = counts.get(span.name, 0) + 1
+            return counts
+
+        # resolver cache state differs between runs (the second run
+        # hits warm caches), so compare the stable structural spans
+        def structural(spans):
+            return {
+                name: count for name, count in names(spans).items()
+                if not name.startswith("resolver.")
+            }
+
+        assert structural(sequential) == structural(parallel)
+
+    def test_item_error_marks_span(self, obs_tracer, span_buffer):
+        platform = small_platform(n_contents=3)
+
+        class Boom:
+            broker = None
+
+            def annotate(self, title, tags):
+                raise RuntimeError("nope")
+
+        platform.annotator = Boom()
+        batch = BatchAnnotator(platform, Graph(), workers=2)
+        stats = batch.run()
+        assert stats.failed == 3
+        items = [
+            s for s in span_buffer.spans() if s.name == "batch.item"
+        ]
+        assert items
+        assert all(s.status == "error" for s in items)
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN actual timings (satellite 2)
+# ----------------------------------------------------------------------
+class TestExplainTimings:
+    def test_explain_reports_per_node_wall_time(self):
+        graph = tiny_graph()
+        evaluator = Evaluator(graph)
+        explanation = evaluator.explain(QUERY, execute=True)
+        rendered = explanation.render()
+        assert "== plan for" in rendered
+        assert "rows: 5" in rendered
+        # the root plan nodes carry actual cardinality AND wall time
+        plan_lines = [
+            line for line in rendered.splitlines()
+            if "est=" in line
+        ]
+        assert plan_lines
+        timed = [li for li in plan_lines if "ms=" in li]
+        assert timed, "no plan node carries an actual ms"
+        for line in timed:
+            assert "actual=" in line
+
+    def test_plan_node_timing_off_outside_explain(self):
+        graph = tiny_graph()
+        evaluator = Evaluator(graph)
+        evaluator.evaluate(QUERY)  # default tracer disabled: no timing
+        assert evaluator._time_plan_nodes is False
+        explanation = evaluator.explain(QUERY, execute=False)
+        assert "ms=" not in explanation.render()
+
+    def test_evaluate_emits_plan_spans_when_tracing(self, obs_tracer,
+                                                    span_buffer):
+        graph = tiny_graph()
+        evaluator = Evaluator(graph)
+        evaluator.evaluate(QUERY)
+        spans = span_buffer.spans()
+        root = next(
+            s for s in spans if s.name == "sparql.evaluate"
+        )
+        assert root.attributes.get("form") == "SELECT"
+        plan_spans = [
+            s for s in spans if s.name.startswith("plan.")
+        ]
+        assert plan_spans
+        assert all(
+            s.trace_id == root.trace_id for s in plan_spans
+        )
+
+
+# ----------------------------------------------------------------------
+# Resolver stats re-based on the registry
+# ----------------------------------------------------------------------
+class TestResolverStatsRebase:
+    def test_fresh_wrapper_reads_zero(self):
+        corpus = build_lod_corpus()
+        first = wrap_resilient(default_resolvers(corpus))[0]
+        first.resolve_term("mole", "it")
+        assert first.stats().calls >= 1
+        # a second wrapper over the same registry starts from zero
+        second = wrap_resilient(default_resolvers(corpus))[0]
+        assert second.stats().calls == 0
+
+    def test_stats_count_calls_and_failures(self):
+        corpus = build_lod_corpus()
+        flaky = [
+            FlakyResolver(r, failure_rate=1.0, seed=5)
+            for r in default_resolvers(corpus)[:1]
+        ]
+        wrapped = wrap_resilient(flaky, reset_timeout=3600.0)[0]
+        with pytest.raises(Exception):
+            wrapped.resolve_term("mole", "it")
+        stats = wrapped.stats()
+        assert stats.calls >= 1
+        assert stats.failures >= 1
+        assert stats.last_error is not None
+
+
+# ----------------------------------------------------------------------
+# GraphStatistics rebuild accounting (satellite 3)
+# ----------------------------------------------------------------------
+class TestGraphStatsRebuilds:
+    def rebuilds(self, registry):
+        family = registry.get("repro_graph_stats_rebuilds_total")
+        return family.value if family is not None else 0
+
+    def test_cached_snapshot_not_recollected(self, obs_registry):
+        graph = tiny_graph()
+        evaluator = Evaluator(graph)
+        evaluator.evaluate(QUERY)
+        evaluator.evaluate(QUERY)
+        assert self.rebuilds(obs_registry) == 1
+        # a second evaluator over the same graph reuses the snapshot
+        Evaluator(graph).evaluate(QUERY)
+        assert self.rebuilds(obs_registry) == 1
+
+    def test_mutation_forces_recollection(self, obs_registry):
+        graph = tiny_graph()
+        evaluator = Evaluator(graph)
+        evaluator.evaluate(QUERY)
+        assert self.rebuilds(obs_registry) == 1
+        graph.add((
+            "http://example.org/pic/99", RDF.type,
+            SIOCT.MicroblogPost,
+        ))
+        evaluator.evaluate(QUERY)
+        assert self.rebuilds(obs_registry) == 2
+        gauge = obs_registry.get("repro_graph_stats_age_seconds")
+        assert gauge is not None
+        assert gauge.value >= 0.0
