@@ -1,10 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint-tools self-check benchmarks
+.PHONY: check test lint-tools self-check lint-concurrency sanitize benchmarks
 
 ## The CI gate: tier-1 tests + static analysis + the repo's own lint.
-check: test lint-tools self-check
+check: test lint-tools self-check lint-concurrency
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,14 @@ lint-tools:
 self-check:
 	$(PYTHON) -m repro lint --self-check
 	$(PYTHON) -m repro lint examples/ benchmarks/
+
+## CC-rule lock-discipline lint over the package's own source.
+lint-concurrency:
+	$(PYTHON) -m repro lint --concurrency
+
+## Run the gold batch workload under the runtime lock sanitizer.
+sanitize:
+	$(PYTHON) -m repro sanitize --contents 60 --workers 4
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -12,9 +12,13 @@ emits nothing). This package is the correctness gate in front of that:
 * :func:`self_check` — all of the above over the paper's own artifacts
   (``repro lint --self-check``);
 * :class:`QueryPlanner` — static algebra analysis and selectivity-driven
-  rewrites behind ``Evaluator(optimize=True)`` and ``repro explain``.
+  rewrites behind ``Evaluator(optimize=True)`` and ``repro explain``;
+* :class:`ConcurrencyAnalyzer` — CC-rule lock-discipline analysis over
+  the repo's own Python source (``repro lint --concurrency``), with
+  :class:`LockSanitizer` as its runtime complement (``repro sanitize``).
 """
 
+from .concurrency import ConcurrencyAnalyzer, analyze_paths
 from .d2r_lint import MappingLinter
 from .diagnostics import (
     AnalysisError,
@@ -31,6 +35,7 @@ from .plan import (
     explain,
 )
 from .rules import RULES, Rule, rule
+from .sanitizer import LockSanitizer, SanitizerReport
 from .self_check import (
     builtin_queries,
     extract_sparql_strings,
@@ -48,23 +53,27 @@ from .vocabulary import (
 
 __all__ = [
     "AnalysisError",
+    "ConcurrencyAnalyzer",
     "DEFAULT_CARDINALITIES",
     "DEFAULT_PASSES",
     "Diagnostic",
     "DiagnosticReport",
     "Explanation",
     "GraphStatistics",
+    "LockSanitizer",
     "MappingLinter",
     "PlannedQuery",
     "QueryPlanner",
     "RULES",
     "Rule",
     "SUGGESTION_THRESHOLD",
+    "SanitizerReport",
     "Severity",
     "ShapeChecker",
     "Span",
     "SparqlLinter",
     "VocabularyIndex",
+    "analyze_paths",
     "builtin_queries",
     "default_vocabulary",
     "explain",

@@ -3,7 +3,8 @@
 Rule ids are stable (tests and suppressions key on them); default
 severities live here so the analyzers and the documentation table cannot
 drift apart. ``SP*`` rules come from the SPARQL linter, ``DM*`` from the
-D2R mapping linter and ``SH*`` from the graph shape checker.
+D2R mapping linter, ``SH*`` from the graph shape checker and ``CC*``
+from the concurrency analyzer (:mod:`repro.analysis.concurrency`).
 """
 
 from __future__ import annotations
@@ -91,6 +92,28 @@ _RULES = [
          Severity.WARNING, "shape"),
     Rule("SH004", "subject of a domain-constrained predicate has no type",
          Severity.INFO, "shape"),
+    # --- Concurrency analyzer ----------------------------------------------
+    Rule("CC001", "attribute guarded by a lock elsewhere is accessed "
+         "unguarded", Severity.ERROR, "concurrency"),
+    Rule("CC002", "inconsistent nested lock acquisition order "
+         "(potential deadlock cycle)", Severity.ERROR, "concurrency"),
+    Rule("CC003", "blocking call or injected callback invoked while "
+         "holding a lock", Severity.ERROR, "concurrency"),
+    Rule("CC004", "mutable state captured by an executor-submitted "
+         "closure without a guard", Severity.WARNING, "concurrency"),
+    Rule("CC005", "lock created per-call instead of per-instance",
+         Severity.ERROR, "concurrency"),
+    Rule("CC006", "lock acquired manually without a try/finally release",
+         Severity.WARNING, "concurrency"),
+    Rule("CC007", "nested acquisition of a non-reentrant lock "
+         "(self-deadlock)", Severity.ERROR, "concurrency"),
+    Rule("CC008", "class-level mutable attribute mutated through "
+         "instances (shared across all instances)",
+         Severity.WARNING, "concurrency"),
+    Rule("CC009", "condition wait() outside a predicate re-check loop",
+         Severity.WARNING, "concurrency"),
+    Rule("CC010", "module-level mutable state mutated without a guard "
+         "in a threaded module", Severity.WARNING, "concurrency"),
 ]
 
 RULES: Dict[str, Rule] = {rule.id: rule for rule in _RULES}

@@ -1,0 +1,430 @@
+"""Runtime lock sanitizer: observe every lock the code under test takes.
+
+Concurrency: thread-safe
+
+The static analyzer (:mod:`repro.analysis.concurrency`) proves
+properties it can see in the AST; this module catches what it cannot —
+the *actual* interleavings of a live run. While installed, it patches
+``threading.Lock`` and ``threading.RLock`` so every lock created by the
+code under test is wrapped in a recording proxy:
+
+* each lock is named by its **creation site** (``file:lineno``), so all
+  locks born on one line — e.g. every ``ResilientResolver._lock`` —
+  share an identity, and an order inversion between two *instances* of
+  the same class pair is still caught;
+* each thread keeps a stack of held locks; acquiring ``B`` while
+  holding ``A`` records the edge ``A → B``. The first acquisition that
+  reverses a previously-seen edge is a **lock-order inversion** — the
+  deterministic shadow of a probabilistic deadlock;
+* hold times beyond ``long_hold_threshold`` are flagged (the runtime
+  analogue of static CC003);
+* counters are exported through the :mod:`repro.obs` metrics registry
+  (``repro_sanitizer_*``) so sanitized test runs surface in the same
+  exposition as production metrics.
+
+Two deliberate exclusions keep the signal clean:
+
+* nesting two locks from the *same* creation site is counted
+  (``same_site_nestings``) but never treated as an inversion —
+  ``concurrent.futures`` legitimately nests many per-``Future``
+  condition locks, and a site cannot be ordered against itself;
+* the sanitizer's own bookkeeping uses the **original** lock class
+  captured at import time, so installing it never recurses.
+
+Usage::
+
+    sanitizer = LockSanitizer()
+    with sanitizer.installed():
+        run_threaded_workload()
+    report = sanitizer.report()
+    assert not report.inversions
+
+or via the opt-in pytest fixture ``lock_sanitizer`` (see
+``tests/conftest.py``), which fails the test on any inversion.
+
+The ``enabled`` flag mirrors :class:`repro.obs.tracing.Tracer`: a
+disabled sanitizer's ``installed()`` is a no-op context manager, so
+call sites can keep the ``with`` structure unconditionally.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..obs import get_registry
+
+__all__ = [
+    "LockSanitizer",
+    "SanitizerReport",
+    "Inversion",
+    "LongHold",
+]
+
+# The genuine factories, captured at import time. The wrappers call
+# these, never ``threading.Lock`` (which may already be patched).
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+def _thread_name() -> str:
+    """Current thread's name without ``threading.current_thread()``.
+
+    ``current_thread()`` allocates a ``_DummyThread`` when called from
+    a thread that has not finished bootstrapping (``Thread.start``
+    acquires its started-Event lock *before* registering the thread in
+    ``threading._active``) — and ``_DummyThread.__init__`` creates an
+    Event, which would re-enter the patched lock factory recursively.
+    Reading ``_active`` directly is a plain dict get under the GIL and
+    allocates nothing.
+    """
+    ident = threading.get_ident()
+    thread = threading._active.get(ident)  # type: ignore[attr-defined]
+    return thread.name if thread is not None else f"thread-{ident}"
+
+
+@dataclass(frozen=True)
+class Inversion:
+    """Edge ``first → second`` observed after ``second → first``."""
+
+    first: str
+    second: str
+    thread: str
+
+    def describe(self) -> str:
+        return (
+            f"lock-order inversion in {self.thread}: acquired "
+            f"{self.second!r} while holding {self.first!r}, but the "
+            f"opposite order was observed earlier"
+        )
+
+
+@dataclass(frozen=True)
+class LongHold:
+    """A lock held beyond the configured threshold."""
+
+    name: str
+    seconds: float
+    thread: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.name!r} held for {self.seconds * 1000:.1f} ms "
+            f"by {self.thread}"
+        )
+
+
+@dataclass
+class SanitizerReport:
+    """Everything one sanitized run observed."""
+
+    acquisitions: int = 0
+    contended: int = 0
+    same_site_nestings: int = 0
+    locks_created: int = 0
+    inversions: List[Inversion] = field(default_factory=list)
+    long_holds: List[LongHold] = field(default_factory=list)
+    edges: Set[Tuple[str, str]] = field(default_factory=set)
+
+    def render(self) -> str:
+        lines = [
+            f"locks created:      {self.locks_created}",
+            f"acquisitions:       {self.acquisitions}",
+            f"contended:          {self.contended}",
+            f"order edges:        {len(self.edges)}",
+            f"same-site nestings: {self.same_site_nestings}",
+            f"inversions:         {len(self.inversions)}",
+            f"long holds:         {len(self.long_holds)}",
+        ]
+        for inv in self.inversions:
+            lines.append(f"  INVERSION {inv.describe()}")
+        for hold in self.long_holds:
+            lines.append(f"  LONG HOLD {hold.describe()}")
+        return "\n".join(lines)
+
+
+class LockSanitizer:
+    """Wrap ``threading.Lock``/``RLock`` creation to record ordering.
+
+    Parameters
+    ----------
+    enabled:
+        A disabled sanitizer installs nothing; ``installed()`` becomes
+        a no-op so the guard costs one attribute check.
+    long_hold_threshold:
+        Hold duration (seconds) beyond which a release is recorded as
+        a long hold. ``None`` disables hold timing entirely.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        long_hold_threshold: Optional[float] = 0.25,
+    ) -> None:
+        self.enabled = enabled
+        self.long_hold_threshold = long_hold_threshold
+        self._state_lock = _REAL_LOCK()
+        self._held = threading.local()
+        self._edges: Dict[Tuple[str, str], int] = {}
+        self._inversions: List[Inversion] = []
+        self._long_holds: List[LongHold] = []
+        self._inverted_pairs: Set[FrozenSet[str]] = set()
+        self._acquisitions = 0
+        self._contended = 0
+        self._same_site = 0
+        self._locks_created = 0
+        self._installed = False
+        registry = get_registry()
+        self._acq_counter = registry.counter(
+            "repro_sanitizer_acquisitions_total",
+            "Lock acquisitions observed by the sanitizer",
+        )
+        self._inv_counter = registry.counter(
+            "repro_sanitizer_inversions_total",
+            "Lock-order inversions detected by the sanitizer",
+        )
+        self._hold_counter = registry.counter(
+            "repro_sanitizer_long_holds_total",
+            "Lock holds beyond the configured threshold",
+        )
+        self._contention_counter = registry.counter(
+            "repro_sanitizer_contended_acquisitions_total",
+            "Acquisitions that had to wait for another holder",
+        )
+
+    # -- installation ---------------------------------------------------
+    @contextmanager
+    def installed(self) -> Iterator["LockSanitizer"]:
+        """Patch the ``threading`` factories for the ``with`` body."""
+        if not self.enabled or self._installed:
+            yield self
+            return
+        previous_lock = threading.Lock
+        previous_rlock = threading.RLock
+        threading.Lock = self._make_lock  # type: ignore[assignment]
+        threading.RLock = self._make_rlock  # type: ignore[assignment]
+        self._installed = True
+        try:
+            yield self
+        finally:
+            threading.Lock = previous_lock  # type: ignore[assignment]
+            threading.RLock = previous_rlock  # type: ignore[assignment]
+            self._installed = False
+
+    def _creation_site(self) -> str:
+        # two frames up: _make_lock/_make_rlock -> caller
+        frame = sys._getframe(2)
+        return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+    def _make_lock(self):
+        with self._state_lock:
+            self._locks_created += 1
+        return _SanitizedLock(
+            self, _REAL_LOCK(), self._creation_site(), reentrant=False
+        )
+
+    def _make_rlock(self):
+        with self._state_lock:
+            self._locks_created += 1
+        return _SanitizedLock(
+            self, _REAL_RLOCK(), self._creation_site(), reentrant=True
+        )
+
+    # -- recording (called from the wrappers) ---------------------------
+    def _stack(self) -> List[Tuple[str, int]]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def on_acquired(
+        self, name: str, lock_id: int, contended: bool
+    ) -> None:
+        stack = self._stack()
+        thread = _thread_name()
+        new_inversions = 0
+        with self._state_lock:
+            self._acquisitions += 1
+            if contended:
+                self._contended += 1
+            for held_name, held_id in stack:
+                if held_id == lock_id:
+                    continue  # RLock re-entry: not a new edge
+                if held_name == name:
+                    self._same_site += 1
+                    continue
+                edge = (held_name, name)
+                reverse = (name, held_name)
+                self._edges[edge] = self._edges.get(edge, 0) + 1
+                pair = frozenset(edge)
+                if reverse in self._edges and (
+                    pair not in self._inverted_pairs
+                ):
+                    self._inverted_pairs.add(pair)
+                    self._inversions.append(Inversion(
+                        first=held_name, second=name, thread=thread,
+                    ))
+                    new_inversions += 1
+        self._acq_counter.inc()
+        if contended:
+            self._contention_counter.inc()
+        if new_inversions:
+            self._inv_counter.inc(new_inversions)
+        stack.append((name, lock_id))
+
+    def on_released(
+        self, name: str, lock_id: int, held_for: Optional[float]
+    ) -> None:
+        stack = self._stack()
+        # release order may not mirror acquire order; remove the
+        # topmost matching entry
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][1] == lock_id:
+                del stack[index]
+                break
+        threshold = self.long_hold_threshold
+        if (
+            held_for is not None
+            and threshold is not None
+            and held_for >= threshold
+        ):
+            with self._state_lock:
+                self._long_holds.append(LongHold(
+                    name=name,
+                    seconds=held_for,
+                    thread=_thread_name(),
+                ))
+            self._hold_counter.inc()
+
+    # -- results --------------------------------------------------------
+    def report(self) -> SanitizerReport:
+        with self._state_lock:
+            return SanitizerReport(
+                acquisitions=self._acquisitions,
+                contended=self._contended,
+                same_site_nestings=self._same_site,
+                locks_created=self._locks_created,
+                inversions=list(self._inversions),
+                long_holds=list(self._long_holds),
+                edges=set(self._edges),
+            )
+
+    def reset(self) -> None:
+        with self._state_lock:
+            self._edges.clear()
+            self._inversions.clear()
+            self._long_holds.clear()
+            self._inverted_pairs.clear()
+            self._acquisitions = 0
+            self._contended = 0
+            self._same_site = 0
+            self._locks_created = 0
+
+
+class _SanitizedLock:
+    """Proxy around a real lock that reports to the sanitizer.
+
+    Implements the private ``_release_save`` / ``_acquire_restore`` /
+    ``_is_owned`` trio so a wrapped RLock still works as the backing
+    lock of ``threading.Condition``.
+    """
+
+    __slots__ = (
+        "_sanitizer", "_lock", "name", "_reentrant",
+        "_owner", "_depth", "_acquired_at",
+    )
+
+    def __init__(self, sanitizer, lock, name, reentrant) -> None:
+        self._sanitizer = sanitizer
+        self._lock = lock
+        self.name = name
+        self._reentrant = reentrant
+        self._owner: Optional[int] = None
+        self._depth = 0
+        self._acquired_at: Optional[float] = None
+
+    # -- core protocol --------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        me = threading.get_ident()
+        if self._reentrant and self._owner == me:
+            # pure re-entry: delegate, bump depth, no edges
+            acquired = self._lock.acquire(blocking, timeout)
+            if acquired:
+                self._depth += 1
+            return acquired
+        contended = False
+        if blocking and timeout == -1:
+            # probe first so contention is observable
+            acquired = self._lock.acquire(False)
+            if not acquired:
+                contended = True
+                acquired = self._lock.acquire(True, -1)
+        else:
+            acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._owner = me
+            self._depth = 1
+            self._acquired_at = time.monotonic()
+            self._sanitizer.on_acquired(
+                self.name, id(self), contended
+            )
+        return acquired
+
+    def release(self) -> None:
+        me = threading.get_ident()
+        if self._reentrant and self._owner == me and self._depth > 1:
+            self._depth -= 1
+            self._lock.release()
+            return
+        held_for = None
+        if self._acquired_at is not None:
+            held_for = time.monotonic() - self._acquired_at
+        self._owner = None
+        self._depth = 0
+        self._acquired_at = None
+        self._lock.release()
+        self._sanitizer.on_released(self.name, id(self), held_for)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    # -- Condition compatibility ---------------------------------------
+    def _release_save(self):
+        """Fully release (Condition.wait), remembering the depth."""
+        state = (self._depth, self._acquired_at)
+        depth = self._depth
+        self._owner = None
+        self._depth = 0
+        self._acquired_at = None
+        for _ in range(max(depth, 1)):
+            self._lock.release()
+        self._sanitizer.on_released(self.name, id(self), None)
+        return state
+
+    def _acquire_restore(self, state) -> None:
+        depth, _ = state
+        for _ in range(max(depth, 1)):
+            self._lock.acquire()
+        self._owner = threading.get_ident()
+        self._depth = max(depth, 1)
+        self._acquired_at = time.monotonic()
+        self._sanitizer.on_acquired(self.name, id(self), False)
+
+    def _is_owned(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def __repr__(self) -> str:
+        kind = "RLock" if self._reentrant else "Lock"
+        return f"<sanitized {kind} {self.name}>"

@@ -18,7 +18,9 @@ concrete class uses the exact class count.
 from __future__ import annotations
 
 import math
+import threading
 import time
+from contextlib import nullcontext
 from typing import Dict, Optional, Set, Tuple
 
 from ..obs import get_registry
@@ -44,6 +46,10 @@ _DEFAULT_SELECTIVITY = 0.5
 
 #: ~1 degree of latitude in kilometers (longitude scaled by cos(lat)).
 _KM_PER_DEGREE = 111.195
+
+#: Serializes :meth:`GraphStatistics.cached` rebuilds so concurrent
+#: readers of a stale graph cannot each launch a full collection pass.
+_REBUILD_LOCK = threading.Lock()
 
 
 class GraphStatistics:
@@ -85,41 +91,89 @@ class GraphStatistics:
 
     @classmethod
     def collect(cls, graph: Graph) -> "GraphStatistics":
-        predicates = graph.predicate_statistics()
+        # Hold the graph's write lock (when it has one) for the whole
+        # scan: the fingerprint must describe the same state the
+        # indexes were scanned in, not a version a concurrent writer
+        # bumped halfway through.
+        guard = getattr(graph, "_lock", None)
+        with guard if guard is not None else nullcontext():
+            predicates = graph.predicate_statistics()
 
-        class_counts: Dict[Term, int] = {}
-        for _, _, cls_term in graph.triples((None, RDF.type, None)):
-            class_counts[cls_term] = class_counts.get(cls_term, 0) + 1
+            class_counts: Dict[Term, int] = {}
+            for _, _, cls_term in graph.triples(
+                (None, RDF.type, None)
+            ):
+                class_counts[cls_term] = (
+                    class_counts.get(cls_term, 0) + 1
+                )
 
-        min_lon = min_lat = math.inf
-        max_lon = max_lat = -math.inf
-        points = 0
-        for _, _, obj in graph.triples((None, GEO.geometry, None)):
-            point = try_parse_point(obj)
-            if point is None:
-                continue
-            points += 1
-            min_lon = min(min_lon, point.longitude)
-            max_lon = max(max_lon, point.longitude)
-            min_lat = min(min_lat, point.latitude)
-            max_lat = max(max_lat, point.latitude)
-        bbox = (
-            (min_lon, min_lat, max_lon, max_lat) if points else None
-        )
-        stats = cls(
-            len(graph), predicates, class_counts, bbox, points
-        )
-        version = getattr(graph, "_version", None)
+            min_lon = min_lat = math.inf
+            max_lon = max_lat = -math.inf
+            points = 0
+            for _, _, obj in graph.triples((None, GEO.geometry, None)):
+                point = try_parse_point(obj)
+                if point is None:
+                    continue
+                points += 1
+                min_lon = min(min_lon, point.longitude)
+                max_lon = max(max_lon, point.longitude)
+                min_lat = min(min_lat, point.latitude)
+                max_lat = max(max_lat, point.latitude)
+            bbox = (
+                (min_lon, min_lat, max_lon, max_lat) if points else None
+            )
+            stats = cls(
+                len(graph), predicates, class_counts, bbox, points
+            )
+            version = getattr(graph, "_version", None)
         # no version counter -> a unique sentinel: never equal to any
         # later observation, so the snapshot can never be served stale.
         stats.fingerprint = version if version is not None else object()
         # every collection is a (re)build of the planner's statistics;
-        # a hot counter here exposes silent per-query re-scans
+        # a hot counter here exposes silent per-query re-scans (the
+        # inc happens outside the graph lock: CC003)
         get_registry().counter(
             "repro_graph_stats_rebuilds_total",
             "GraphStatistics collection passes over a live graph.",
         ).inc()
         return stats
+
+    @classmethod
+    def cached(cls, graph: Graph) -> "GraphStatistics":
+        """Version-checked statistics for ``graph``, cached on it.
+
+        The fast path is lock-free: read the cached snapshot and accept
+        it when its fingerprint matches the graph's current version.
+        Rebuilds are serialized by a module-level lock so N concurrent
+        readers of a freshly-mutated graph trigger one collection pass,
+        not N — the interleaving the concurrency analyzer flagged when
+        the evaluator open-coded this check.
+        """
+        version = getattr(graph, "_version", None)
+        stats = getattr(graph, "_stats_cache", None)
+        if (
+            stats is not None
+            and version is not None
+            and stats.fingerprint == version
+        ):
+            return stats
+        with _REBUILD_LOCK:
+            # double-check: another reader may have rebuilt while we
+            # waited on the lock
+            version = getattr(graph, "_version", None)
+            stats = getattr(graph, "_stats_cache", None)
+            if (
+                stats is not None
+                and version is not None
+                and stats.fingerprint == version
+            ):
+                return stats
+            stats = cls.collect(graph)
+            try:
+                graph._stats_cache = stats
+            except AttributeError:  # pragma: no cover - exotic graphs
+                pass
+            return stats
 
     # ------------------------------------------------------------------
     # Scan cardinality

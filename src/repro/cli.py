@@ -10,6 +10,8 @@ Usage::
     python -m repro dump
     python -m repro lint --self-check
     python -m repro lint examples/ benchmarks/
+    python -m repro lint --concurrency
+    python -m repro sanitize --workers 4
 
 Each subcommand is a thin wrapper over the library; everything it prints
 can be reproduced programmatically.
@@ -131,11 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="statically analyze SPARQL queries, D2R mappings and dumps",
+        help="statically analyze SPARQL queries, D2R mappings, dumps "
+             "and (with --concurrency) the Python source itself",
     )
     lint.add_argument(
         "files", nargs="*",
-        help="files or directories to lint (.rq/.sparql/.py/.nt)",
+        help="files or directories to lint (.rq/.sparql/.py/.nt; with "
+             "--concurrency: Python sources, default src/repro)",
     )
     lint.add_argument(
         "--queries", action="store_true",
@@ -150,9 +154,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint everything the system ships (queries, mapping, dump)",
     )
     lint.add_argument(
+        "--concurrency", action="store_true",
+        help="run the CC-rule concurrency analyzer over Python "
+             "sources (positional paths, default: the repro package)",
+    )
+    lint.add_argument(
         "--min-severity", default="info",
         help="hide diagnostics below this severity "
              "(info, warning or error; default: info)",
+    )
+    lint.add_argument(
+        "--json", default=None, metavar="FILE", dest="json_out",
+        help="also write every diagnostic as a JSON array to FILE "
+             "('-' for stdout)",
+    )
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run a parallel batch-annotation workload under the "
+             "runtime lock sanitizer and report inversions/long holds",
+    )
+    sanitize.add_argument(
+        "--contents", type=int, default=60,
+        help="synthetic catalog size (default: 60)",
+    )
+    sanitize.add_argument(
+        "--workers", type=int, default=4,
+        help="parallel annotation workers (default: 4)",
+    )
+    sanitize.add_argument(
+        "--batch-size", type=int, default=20, dest="batch_size",
+        help="items per checkpoint batch (default: 20)",
+    )
+    sanitize.add_argument(
+        "--long-hold-ms", type=float, default=250.0,
+        dest="long_hold_ms",
+        help="flag lock holds longer than this (default: 250 ms)",
     )
 
     explain = sub.add_parser(
@@ -430,33 +467,22 @@ def _cmd_dump(args) -> int:
     return 0
 
 
-def _cmd_lint(args) -> int:
+def _collect_lint_diagnostics(args) -> "object":
+    """Fill one :class:`DiagnosticReport` from every requested mode.
+
+    Every lint mode funnels through here so severity filtering, JSON
+    output and exit-code policy cannot drift between modes — they are
+    applied exactly once, in :func:`_cmd_lint`.
+    """
     from pathlib import Path
 
     from .analysis import (
         DiagnosticReport,
-        Severity,
         SparqlLinter,
         builtin_queries,
         lint_path,
         self_check,
     )
-
-    try:
-        min_severity = Severity.parse(args.min_severity)
-    except ValueError:
-        allowed = ", ".join(s.name.lower() for s in Severity)
-        print(
-            f"error: unknown severity {args.min_severity!r} "
-            f"(allowed: {allowed})",
-            file=sys.stderr,
-        )
-        return 2
-
-    if not (args.files or args.queries or args.mapping or args.self_check):
-        print("error: nothing to lint (give files or --queries/--mapping/"
-              "--self-check)", file=sys.stderr)
-        return 2
 
     report = DiagnosticReport()
     linter = SparqlLinter.default()
@@ -474,17 +500,121 @@ def _cmd_lint(args) -> int:
             report.extend(MappingLinter().lint(
                 platform.mapping, platform.db, name="platform-mapping"
             ))
-    for path in args.files:
-        report.extend(lint_path(Path(path), linter))
+    if args.concurrency:
+        from .analysis.concurrency import analyze_paths
+
+        targets = [Path(p) for p in args.files]
+        if not targets:
+            # default: the installed repro package itself
+            targets = [Path(__file__).resolve().parent]
+        report.extend(analyze_paths(targets))
+    else:
+        for path in args.files:
+            report.extend(lint_path(Path(path), linter))
+    return report
+
+
+def _diagnostics_as_json(report) -> str:
+    import json
+
+    payload = []
+    for diag in report:
+        payload.append({
+            "rule": diag.rule,
+            "severity": diag.severity.name.lower(),
+            "message": diag.message,
+            "source": diag.source,
+            "span": (
+                [diag.span.start, diag.span.end] if diag.span else None
+            ),
+            "suggestion": diag.suggestion,
+        })
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import Severity
+
+    try:
+        min_severity = Severity.parse(args.min_severity)
+    except ValueError:
+        allowed = ", ".join(s.name.lower() for s in Severity)
+        print(
+            f"error: unknown severity {args.min_severity!r} "
+            f"(allowed: {allowed})",
+            file=sys.stderr,
+        )
+        return 2
+
+    if not (
+        args.files or args.queries or args.mapping
+        or args.self_check or args.concurrency
+    ):
+        print("error: nothing to lint (give files or --queries/--mapping/"
+              "--self-check/--concurrency)", file=sys.stderr)
+        return 2
+
+    report = _collect_lint_diagnostics(args)
 
     rendered = report.render(min_severity)
     if rendered:
         print(rendered)
+    if args.json_out is not None:
+        text = _diagnostics_as_json(report)
+        if args.json_out == "-":
+            print(text)
+        else:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
     shown = len(report.at_least(min_severity))
     errors = len(report.errors)
     print(f"{len(report)} diagnostic(s) ({shown} shown, "
           f"{errors} error(s))")
     return 1 if report.has_errors() else 0
+
+
+def _cmd_sanitize(args) -> int:
+    from .analysis.sanitizer import LockSanitizer
+    from .core import BatchAnnotator
+    from .platform import Platform
+    from .rdf import Graph
+    from .workloads import (
+        WorkloadConfig,
+        generate_workload,
+        populate_platform,
+    )
+
+    if args.contents <= 0 or args.workers <= 0 or args.batch_size <= 0:
+        print("error: --contents, --workers and --batch-size must be "
+              "positive", file=sys.stderr)
+        return 2
+
+    sanitizer = LockSanitizer(
+        long_hold_threshold=args.long_hold_ms / 1000.0
+    )
+    with sanitizer.installed():
+        platform = Platform()
+        workload = generate_workload(WorkloadConfig(
+            n_users=max(5, args.contents // 20),
+            n_contents=args.contents,
+            cities=("Turin",),
+            seed=42,
+        ))
+        populate_platform(platform, workload)
+        batch = BatchAnnotator(
+            platform, Graph(),
+            batch_size=args.batch_size, workers=args.workers,
+        )
+        stats = batch.run()
+
+    report = sanitizer.report()
+    print(f"workload  : {args.contents} item(s), {args.workers} "
+          f"worker(s), batch size {args.batch_size}")
+    print(f"processed : {stats.processed}  annotated: {stats.annotated}"
+          f"  failed: {stats.failed}")
+    print()
+    print(report.render())
+    return 1 if report.inversions else 0
 
 
 def _cmd_explain(args) -> int:
@@ -703,6 +833,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "dump": _cmd_dump,
     "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
     "explain": _cmd_explain,
     "obs": _cmd_obs,
 }

@@ -330,18 +330,33 @@ class JsonLinesExporter:
         line = json.dumps(
             span.to_dict(), sort_keys=True, default=str
         )
+        # Lazy open happens OUTSIDE the lock: the filesystem can block
+        # arbitrarily long and every exporting thread would queue
+        # behind it (CC003). Double-checked publication keeps exactly
+        # one handle; a loser of the race closes its extra one.
+        handle = self._handle  # cc: allow=CC001 (racy fast-path peek)
+        if handle is None:
+            opened = open(self._path, "a", encoding="utf-8")
+            stale = None
+            with self._lock:
+                if self._handle is None:
+                    self._handle = opened
+                else:
+                    stale = opened
+            if stale is not None:
+                stale.close()
         with self._lock:
-            if self._handle is None:
-                self._handle = open(
-                    self._path, "a", encoding="utf-8"
-                )
-            self._handle.write(line + "\n")
+            # the write itself is the resource this lock serializes
+            self._handle.write(line + "\n")  # cc: allow=CC003
 
     def close(self) -> None:
+        stale = None
         with self._lock:
             if self._handle is not None and self._path is not None:
-                self._handle.close()
+                stale = self._handle
                 self._handle = None
+        if stale is not None:
+            stale.close()  # flush outside the lock (CC003)
 
 
 # ----------------------------------------------------------------------

@@ -1,13 +1,29 @@
 """Indexed in-memory triple store.
 
+Concurrency: single-writer
+
 :class:`Graph` is the storage substrate that stands in for the paper's
 OpenLink Virtuoso installation. It keeps three hash indexes (SPO, POS, OSP)
 so that every triple-pattern shape is answered from the most selective
 index, which is what makes BGP matching in :mod:`repro.sparql` fast enough
 for the benchmark workloads.
+
+The concurrency contract (checked by ``repro lint --concurrency``): all
+**mutation** goes through ``Graph._lock`` — concurrent writers are safe —
+but read paths (:meth:`Graph.triples` and the accessors built on it) are
+deliberately lock-free generators and must not run concurrently with a
+writer. This is exactly how the repo uses it today: ``BatchAnnotator``
+fans out annotation work but funnels every ``add`` through its
+single-threaded drain loop, and queries run after the batch completes.
+The planned MVCC store replaces this contract with real snapshots; until
+then the lock makes the *write* side safe and
+:meth:`repro.analysis.stats.GraphStatistics.cached` uses the same lock
+to take a consistent statistics snapshot.
 """
 
 from __future__ import annotations
+
+import threading
 
 from typing import (
     Any,
@@ -72,6 +88,9 @@ class Graph:
         #: bumped on every mutation; lets cached statistics (the query
         #: planner's cardinality model) detect staleness cheaply.
         self._version = 0
+        #: serializes mutation (see the module docstring's contract);
+        #: reentrant so add_all/remove can call helpers that lock.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Mutation
@@ -82,37 +101,41 @@ class Graph:
         s = self._as_node(s)
         p = self._as_predicate(p)
         o = term_from_python(o)
-        if not self._contains(s, p, o):
-            _index_add(self._spo, s, p, o)
-            _index_add(self._pos, p, o, s)
-            _index_add(self._osp, o, s, p)
-            self._size += 1
-            self._version += 1
+        with self._lock:
+            if not self._contains(s, p, o):
+                _index_add(self._spo, s, p, o)
+                _index_add(self._pos, p, o, s)
+                _index_add(self._osp, o, s, p)
+                self._size += 1
+                self._version += 1
         return self
 
     def add_all(self, triples: Iterable[Iterable[Any]]) -> "Graph":
-        for triple in triples:
-            self.add(triple)
+        with self._lock:  # one acquisition for the whole batch
+            for triple in triples:
+                self.add(triple)
         return self
 
     def remove(self, pattern: TriplePattern) -> int:
         """Remove all triples matching ``pattern``; returns count removed."""
-        matches = list(self.triples(pattern))
-        for s, p, o in matches:
-            _index_remove(self._spo, s, p, o)
-            _index_remove(self._pos, p, o, s)
-            _index_remove(self._osp, o, s, p)
-        self._size -= len(matches)
-        if matches:
-            self._version += 1
+        with self._lock:
+            matches = list(self.triples(pattern))
+            for s, p, o in matches:
+                _index_remove(self._spo, s, p, o)
+                _index_remove(self._pos, p, o, s)
+                _index_remove(self._osp, o, s, p)
+            self._size -= len(matches)
+            if matches:
+                self._version += 1
         return len(matches)
 
     def clear(self) -> None:
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
-        self._size = 0
-        self._version += 1
+        with self._lock:
+            self._spo.clear()
+            self._pos.clear()
+            self._osp.clear()
+            self._size = 0
+            self._version += 1
 
     @staticmethod
     def _as_node(value: Any) -> Term:
@@ -300,14 +323,17 @@ class Graph:
         planner's cardinality model (:class:`repro.analysis.stats`).
         """
         stats: Dict[Term, Tuple[int, int, int]] = {}
-        for predicate, by_object in self._pos.items():
-            triples = sum(len(subjects) for subjects in by_object.values())
-            subjects_seen: Set[Term] = set()
-            for subjects in by_object.values():
-                subjects_seen |= subjects
-            stats[predicate] = (
-                triples, len(subjects_seen), len(by_object)
-            )
+        with self._lock:  # a consistent snapshot even mid-batch
+            for predicate, by_object in self._pos.items():
+                triples = sum(
+                    len(subjects) for subjects in by_object.values()
+                )
+                subjects_seen: Set[Term] = set()
+                for subjects in by_object.values():
+                    subjects_seen |= subjects
+                stats[predicate] = (
+                    triples, len(subjects_seen), len(by_object)
+                )
         return stats
 
     # ------------------------------------------------------------------

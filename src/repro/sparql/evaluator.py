@@ -201,26 +201,15 @@ class Evaluator:
         """Graph statistics, re-collected whenever the graph changes.
 
         The snapshot is cached on the graph itself so every evaluator
-        over the same store shares one collection pass.
+        over the same store shares one collection pass; the
+        version-check/rebuild dance lives in
+        :meth:`GraphStatistics.cached`, which serializes concurrent
+        rebuilds instead of letting every racing evaluator re-scan.
         """
         from ..analysis.stats import GraphStatistics
 
-        version = getattr(self.graph, "_version", None)
-        cached = getattr(self.graph, "_stats_cache", None)
-        if (
-            cached is not None
-            and version is not None
-            and cached.fingerprint == version
-        ):
-            self._stats = cached
-            self._observe_stats_age(cached)
-            return cached
-        stats = GraphStatistics.collect(self.graph)
+        stats = GraphStatistics.cached(self.graph)
         self._stats = stats
-        try:
-            self.graph._stats_cache = stats
-        except AttributeError:  # pragma: no cover - exotic graphs
-            pass
         self._observe_stats_age(stats)
         return stats
 

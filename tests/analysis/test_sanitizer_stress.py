@@ -1,0 +1,93 @@
+"""Stress test: the full parallel annotation pipeline under the
+runtime lock sanitizer.
+
+This is the ISSUE's acceptance gate for the tier-1 thread paths: a
+``BatchAnnotator(workers=4)`` run over a real synthetic catalog — the
+resilience layer, the obs registry, the graph lock and the checkpoint
+drain all active at once — must produce zero lock-order inversions and
+exactly the same stats and triples as the sequential run.
+"""
+
+import pytest
+
+from repro.core import BatchAnnotator
+from repro.platform import Platform
+from repro.rdf import Graph
+from repro.workloads import (
+    WorkloadConfig,
+    generate_workload,
+    populate_platform,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog_config():
+    return WorkloadConfig(
+        n_users=5, n_contents=40, cities=("Turin",), seed=11,
+    )
+
+
+def build_catalog(config):
+    platform = Platform()
+    populate_platform(platform, generate_workload(config))
+    return platform
+
+
+def test_parallel_batch_under_sanitizer(lock_sanitizer, catalog_config):
+    # sequential reference first — also sanitized, so the single-worker
+    # path contributes its edges to the same order graph
+    seq_graph = Graph()
+    seq_stats = BatchAnnotator(
+        build_catalog(catalog_config), seq_graph, batch_size=10,
+    ).run()
+
+    par_graph = Graph()
+    par_stats = BatchAnnotator(
+        build_catalog(catalog_config), par_graph,
+        batch_size=10, workers=4,
+    ).run()
+
+    assert par_stats.summary() == seq_stats.summary()
+    assert set(par_graph) == set(seq_graph)
+    assert len(par_graph) == len(seq_graph)
+
+    report = lock_sanitizer.report()
+    assert report.inversions == []
+    # the workload actually exercised locks (the assertion above is
+    # meaningless on a run the sanitizer never saw)
+    assert report.acquisitions > 0
+    assert report.locks_created > 0
+
+
+def test_sanitizer_sees_the_resilience_layer(lock_sanitizer):
+    """The wrapped resolvers' breaker/cache locks show up in the
+    sanitizer's order graph when annotation runs through them."""
+    from repro.core.annotator import SemanticAnnotator
+    from repro.core.filtering import SemanticFilter
+    from repro.lod import build_lod_corpus
+    from repro.resolvers import (
+        SemanticBroker,
+        default_resolvers,
+        wrap_resilient,
+    )
+
+    corpus = build_lod_corpus()
+    platform = build_catalog(WorkloadConfig(
+        n_users=3, n_contents=12, cities=("Turin",), seed=7,
+    ))
+    platform.annotator = SemanticAnnotator(
+        SemanticBroker(wrap_resilient(default_resolvers(corpus))),
+        SemanticFilter(corpus),
+    )
+    stats = BatchAnnotator(
+        platform, Graph(), batch_size=6, workers=4,
+    ).run()
+    assert stats.processed == 12
+    assert stats.failed == 0
+
+    report = lock_sanitizer.report()
+    assert report.inversions == []
+    # the resilience layer hand-rolls one lock per breaker/cache/stats
+    # instance; four resolvers wrapped → well over four sanitized locks
+    assert report.locks_created >= 4
+    assert report.acquisitions > 100

@@ -137,6 +137,68 @@ class TestCircuitBreaker:
         assert breaker.state == BREAKER_CLOSED
 
 
+class LockProbeClock:
+    """A clock that fails the test if invoked while the owner's
+    internal lock is held (regression guard: time functions must be
+    sampled *before* ``self._lock`` is taken, never under it)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.owner = None
+        self.calls = 0
+        self.violations = 0
+
+    def __call__(self) -> float:
+        self.calls += 1
+        lock = self.owner._lock
+        if lock.acquire(blocking=False):
+            lock.release()
+        else:
+            self.violations += 1
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestNoClockCallsUnderLock:
+    """The breaker and cache must never invoke the injected clock while
+    holding ``self._lock`` — a slow or reentrant clock would otherwise
+    stall every other thread (or deadlock a reentrant caller)."""
+
+    def test_breaker_never_calls_clock_under_lock(self):
+        clock = LockProbeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=clock
+        )
+        clock.owner = breaker
+
+        breaker.record_failure()            # trips open
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+
+        assert clock.calls > 0
+        assert clock.violations == 0
+
+    def test_cache_never_calls_clock_under_lock(self):
+        clock = LockProbeClock()
+        cache = TTLCache(max_size=4, ttl=10.0, clock=clock)
+        clock.owner = cache
+
+        cache.put("k", "v")
+        assert cache.get("k") == (True, "v")
+        clock.advance(10.0)
+        assert cache.get("k") == (False, None)
+        cache.put("k", "v2")
+
+        assert clock.calls > 0
+        assert clock.violations == 0
+
+
 class TestTTLCache:
     def test_hit_and_miss(self):
         cache = TTLCache(max_size=4, ttl=None)

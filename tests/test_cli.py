@@ -154,9 +154,14 @@ class TestParser:
 
 
 class TestLintSeverity:
-    def test_unknown_severity_exits_2(self, capsys):
+    # every lint mode funnels through one driver, so the severity
+    # parse error must behave identically regardless of the mode
+    @pytest.mark.parametrize("mode", [
+        "--queries", "--mapping", "--self-check", "--concurrency",
+    ])
+    def test_unknown_severity_exits_2(self, capsys, mode):
         assert main(
-            ["lint", "--queries", "--min-severity", "blocker"]
+            ["lint", mode, "--min-severity", "blocker"]
         ) == 2
         err = capsys.readouterr().err
         assert "unknown severity 'blocker'" in err
@@ -167,6 +172,107 @@ class TestLintSeverity:
             ["lint", "--queries", "--min-severity", "error"]
         ) == 0
         assert "diagnostic(s)" in capsys.readouterr().out
+
+    def test_nothing_to_lint_exits_2(self, capsys):
+        assert main(["lint"]) == 2
+        err = capsys.readouterr().err
+        assert "nothing to lint" in err
+        assert "--concurrency" in err
+
+
+CC_DIRTY = """\
+import threading
+import time
+
+LOCK = threading.Lock()
+
+
+def slow_section():
+    with LOCK:
+        time.sleep(0.1)
+"""
+
+
+class TestLintConcurrency:
+    def test_clean_file_exits_0(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", "--concurrency", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_dirty_file_exits_1(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(CC_DIRTY)
+        assert main(["lint", "--concurrency", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "CC003" in out
+
+    def test_min_severity_filters_display_not_exit_code(
+        self, tmp_path, capsys
+    ):
+        # exit code reflects *all* collected errors, not just the shown
+        # slice — consistent with --queries/--mapping behavior
+        target = tmp_path / "dirty.py"
+        target.write_text(CC_DIRTY)
+        assert main([
+            "lint", "--concurrency", str(target),
+            "--min-severity", "error",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "CC003" in out
+
+    def test_repro_package_default_target_is_clean(self, capsys):
+        # the checked-in baseline: linting the package itself is clean
+        assert main(["lint", "--concurrency"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_json_output_to_stdout(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "dirty.py"
+        target.write_text(CC_DIRTY)
+        assert main([
+            "lint", "--concurrency", str(target), "--json", "-",
+        ]) == 1
+        out = capsys.readouterr().out
+        start, end = out.index("["), out.rindex("]") + 1
+        payload = json.loads(out[start:end])
+        assert any(entry["rule"] == "CC003" for entry in payload)
+        entry = payload[0]
+        assert set(entry) == {
+            "rule", "severity", "message", "source", "span",
+            "suggestion",
+        }
+
+    def test_json_output_to_file(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "dirty.py"
+        target.write_text(CC_DIRTY)
+        report = tmp_path / "report.json"
+        assert main([
+            "lint", "--concurrency", str(target),
+            "--json", str(report),
+        ]) == 1
+        capsys.readouterr()
+        payload = json.loads(report.read_text())
+        assert payload and payload[0]["severity"] == "error"
+
+
+class TestSanitize:
+    def test_smoke_run_exits_0(self, capsys):
+        assert main([
+            "sanitize", "--contents", "10",
+            "--workers", "2", "--batch-size", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "processed : 10" in out
+        assert "inversions" in out
+
+    def test_invalid_workers_exits_2(self, capsys):
+        assert main(["sanitize", "--workers", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
 
 
 class TestExplain:
