@@ -1,0 +1,93 @@
+"""EFFECTS — store-sanitizer overhead gate.
+
+The runtime store sanitizer (:mod:`repro.analysis.store_sanitizer`)
+wraps every ``Graph`` read and write while installed. That is an
+opt-in debugging mode (``REPRO_SANITIZE=1``, ``repro sanitize
+--store``) — production runs never pay for it, which this gate pins: a
+*disabled* sanitizer's ``installed()`` patches nothing, so a
+store-heavy workload (SPARQL evaluation + bulk writes) inside it must
+stay within 1.10x of the plain run. The enabled-mode cost is recorded
+for the history but not gated.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from _harness import record
+from repro.analysis.store_sanitizer import StoreSanitizer
+from repro.rdf import FOAF, Graph, Literal, RDF, SIOCT, URIRef
+from repro.sparql import Evaluator
+
+EX = "http://example.org/"
+QUERY = (
+    "PREFIX sioct: <http://rdfs.org/sioc/types#> "
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+    "SELECT ?p ?n WHERE { ?p a sioct:MicroblogPost . "
+    "?p foaf:maker ?u . ?u foaf:name ?n }"
+)
+
+
+def _store_workload():
+    """Bulk-load a graph, evaluate a join-heavy query, scan it back."""
+    graph = Graph()
+    graph.add_all(
+        (URIRef(f"{EX}u{i}"), FOAF.name, Literal(f"user {i}"))
+        for i in range(50)
+    )
+    for i in range(600):
+        pic = URIRef(f"{EX}pic{i}")
+        graph.add((pic, RDF.type, SIOCT.MicroblogPost))
+        graph.add((pic, FOAF.maker, URIRef(f"{EX}u{i % 50}")))
+    rows = list(Evaluator(graph).evaluate(QUERY))
+    scanned = sum(1 for _ in graph.triples((None, None, None)))
+    assert len(rows) == 600 and scanned == len(graph)
+    return rows
+
+
+def bench_effects_overhead(benchmark):
+    def timed_run(sanitizer=None):
+        start = time.perf_counter()
+        if sanitizer is None:
+            _store_workload()
+        else:
+            with sanitizer.installed():
+                _store_workload()
+        return (time.perf_counter() - start) * 1000.0
+
+    timed_run()  # warm caches before any timed sample
+    rounds = 5
+    plain = [timed_run() for _ in range(rounds)]
+    disabled = [
+        timed_run(StoreSanitizer(enabled=False)) for _ in range(rounds)
+    ]
+    enabled = [
+        timed_run(StoreSanitizer()) for _ in range(rounds)
+    ]
+
+    plain_ms = statistics.median(plain)
+    disabled_ms = statistics.median(disabled)
+    enabled_ms = statistics.median(enabled)
+    # small absolute floor keeps the ratio meaningful on very fast runs
+    ratio = disabled_ms / max(plain_ms, 1.0)
+
+    benchmark.extra_info["plain_ms"] = round(plain_ms, 1)
+    benchmark.extra_info["disabled_ms"] = round(disabled_ms, 1)
+    benchmark.extra_info["enabled_ms"] = round(enabled_ms, 1)
+    benchmark.extra_info["disabled_ratio"] = round(ratio, 3)
+    record(
+        "effects_overhead",
+        disabled,
+        extra={
+            "plain_ms": round(plain_ms, 1),
+            "enabled_ms": round(enabled_ms, 1),
+            "disabled_ratio": round(ratio, 3),
+        },
+    )
+    assert ratio <= 1.10, (
+        f"disabled store sanitizer costs {ratio:.2f}x over plain "
+        f"({disabled_ms:.0f} ms vs {plain_ms:.0f} ms)"
+    )
+
+    benchmark.pedantic(timed_run, rounds=1, iterations=1)

@@ -15,10 +15,15 @@ emits nothing). This package is the correctness gate in front of that:
   rewrites behind ``Evaluator(optimize=True)`` and ``repro explain``;
 * :class:`ConcurrencyAnalyzer` — CC-rule lock-discipline analysis over
   the repo's own Python source (``repro lint --concurrency``), with
-  :class:`LockSanitizer` as its runtime complement (``repro sanitize``).
+  :class:`LockSanitizer` as its runtime complement (``repro sanitize``);
+* :class:`StoreEffectAnalyzer` — EF-rule interprocedural read/write
+  discipline for the quad-store (``repro lint --effects``), with
+  :class:`StoreSanitizer` as its runtime complement
+  (``repro sanitize --store``).
 """
 
 from .concurrency import ConcurrencyAnalyzer, analyze_paths
+from .effects import StoreEffectAnalyzer, analyze_effects
 from .d2r_lint import MappingLinter
 from .diagnostics import (
     AnalysisError,
@@ -34,8 +39,9 @@ from .plan import (
     QueryPlanner,
     explain,
 )
-from .rules import RULES, Rule, rule
+from .rules import CATALOG_VERSION, RULES, Rule, rule
 from .sanitizer import LockSanitizer, SanitizerReport
+from .store_sanitizer import StoreReport, StoreSanitizer
 from .self_check import (
     builtin_queries,
     extract_sparql_strings,
@@ -53,6 +59,7 @@ from .vocabulary import (
 
 __all__ = [
     "AnalysisError",
+    "CATALOG_VERSION",
     "ConcurrencyAnalyzer",
     "DEFAULT_CARDINALITIES",
     "DEFAULT_PASSES",
@@ -72,7 +79,11 @@ __all__ = [
     "ShapeChecker",
     "Span",
     "SparqlLinter",
+    "StoreEffectAnalyzer",
+    "StoreReport",
+    "StoreSanitizer",
     "VocabularyIndex",
+    "analyze_effects",
     "analyze_paths",
     "builtin_queries",
     "default_vocabulary",

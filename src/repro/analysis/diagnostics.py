@@ -58,10 +58,13 @@ class Diagnostic:
     span: Optional[Span] = None
     suggestion: Optional[str] = None
     source: Optional[str] = None  # artifact name: "Q1", a file path, ...
+    line: Optional[int] = None  # 1-based source line, when known
 
     def render(self) -> str:
         where = self.source or "<input>"
-        if self.span is not None:
+        if self.line is not None:
+            where += f":{self.line}"
+        elif self.span is not None:
             where += f":{self.span.start}"
         text = f"{where}: {self.severity} {self.rule} {self.message}"
         if self.suggestion:

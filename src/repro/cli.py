@@ -11,6 +11,7 @@ Usage::
     python -m repro lint --self-check
     python -m repro lint examples/ benchmarks/
     python -m repro lint --concurrency
+    python -m repro lint --effects --json -
     python -m repro sanitize --workers 4
 
 Each subcommand is a thin wrapper over the library; everything it prints
@@ -134,7 +135,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="statically analyze SPARQL queries, D2R mappings, dumps "
-             "and (with --concurrency) the Python source itself",
+             "and (with --concurrency/--effects) the Python source "
+             "itself",
     )
     lint.add_argument(
         "files", nargs="*",
@@ -159,14 +161,24 @@ def build_parser() -> argparse.ArgumentParser:
              "sources (positional paths, default: the repro package)",
     )
     lint.add_argument(
+        "--effects", action="store_true",
+        help="run the EF-rule store-effect analyzer over Python "
+             "sources (positional paths, default: the repro package)",
+    )
+    lint.add_argument(
         "--min-severity", default="info",
         help="hide diagnostics below this severity "
              "(info, warning or error; default: info)",
     )
     lint.add_argument(
+        "--fail-on", default="error", dest="fail_on",
+        help="exit non-zero when any diagnostic at or above this "
+             "severity exists (info, warning or error; default: error)",
+    )
+    lint.add_argument(
         "--json", default=None, metavar="FILE", dest="json_out",
-        help="also write every diagnostic as a JSON array to FILE "
-             "('-' for stdout)",
+        help="also write the diagnostics as a JSON object "
+             "({catalog, diagnostics}) to FILE ('-' for stdout)",
     )
 
     sanitize = sub.add_parser(
@@ -190,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--long-hold-ms", type=float, default=250.0,
         dest="long_hold_ms",
         help="flag lock holds longer than this (default: 250 ms)",
+    )
+    sanitize.add_argument(
+        "--store", action="store_true",
+        help="also install the runtime store sanitizer and report "
+             "mutation-during-iteration and Graph-writes contract "
+             "violations",
     )
 
     explain = sub.add_parser(
@@ -500,14 +518,22 @@ def _collect_lint_diagnostics(args) -> "object":
             report.extend(MappingLinter().lint(
                 platform.mapping, platform.db, name="platform-mapping"
             ))
+    source_analyzers = []
     if args.concurrency:
         from .analysis.concurrency import analyze_paths
 
+        source_analyzers.append(analyze_paths)
+    if getattr(args, "effects", False):
+        from .analysis.effects import analyze_effects
+
+        source_analyzers.append(analyze_effects)
+    if source_analyzers:
         targets = [Path(p) for p in args.files]
         if not targets:
             # default: the installed repro package itself
             targets = [Path(__file__).resolve().parent]
-        report.extend(analyze_paths(targets))
+        for analyze in source_analyzers:
+            report.extend(analyze(targets))
     else:
         for path in args.files:
             report.extend(lint_path(Path(path), linter))
@@ -515,21 +541,42 @@ def _collect_lint_diagnostics(args) -> "object":
 
 
 def _diagnostics_as_json(report) -> str:
+    """Render ``report`` as a machine-readable JSON envelope.
+
+    The envelope carries the rule-catalog version (so CI artifacts can
+    be compared across revisions) and the diagnostics sorted by
+    ``(source, line, rule, message)`` — the order is deterministic
+    regardless of which lint modes produced them or in what order.
+    """
     import json
 
+    from .analysis import CATALOG_VERSION
+
+    def _line(diag) -> int:
+        if diag.line is not None:
+            return diag.line
+        if diag.span is not None:
+            return diag.span.start
+        return 0
+
     payload = []
-    for diag in report:
+    for diag in sorted(
+        report,
+        key=lambda d: (d.source or "", _line(d), d.rule, d.message),
+    ):
         payload.append({
             "rule": diag.rule,
             "severity": diag.severity.name.lower(),
             "message": diag.message,
             "source": diag.source,
+            "line": diag.line,
             "span": (
                 [diag.span.start, diag.span.end] if diag.span else None
             ),
             "suggestion": diag.suggestion,
         })
-    return json.dumps(payload, indent=2, sort_keys=True)
+    envelope = {"catalog": CATALOG_VERSION, "diagnostics": payload}
+    return json.dumps(envelope, indent=2, sort_keys=True)
 
 
 def _cmd_lint(args) -> int:
@@ -546,12 +593,23 @@ def _cmd_lint(args) -> int:
         )
         return 2
 
+    try:
+        fail_on = Severity.parse(args.fail_on)
+    except ValueError:
+        allowed = ", ".join(s.name.lower() for s in Severity)
+        print(
+            f"error: unknown severity {args.fail_on!r} "
+            f"(allowed: {allowed})",
+            file=sys.stderr,
+        )
+        return 2
+
     if not (
         args.files or args.queries or args.mapping
-        or args.self_check or args.concurrency
+        or args.self_check or args.concurrency or args.effects
     ):
         print("error: nothing to lint (give files or --queries/--mapping/"
-              "--self-check/--concurrency)", file=sys.stderr)
+              "--self-check/--concurrency/--effects)", file=sys.stderr)
         return 2
 
     report = _collect_lint_diagnostics(args)
@@ -570,7 +628,13 @@ def _cmd_lint(args) -> int:
     errors = len(report.errors)
     print(f"{len(report)} diagnostic(s) ({shown} shown, "
           f"{errors} error(s))")
-    return 1 if report.has_errors() else 0
+    return 1 if report.at_least(fail_on) else 0
+
+
+def _noop_context():
+    from contextlib import nullcontext
+
+    return nullcontext()
 
 
 def _cmd_sanitize(args) -> int:
@@ -592,7 +656,16 @@ def _cmd_sanitize(args) -> int:
     sanitizer = LockSanitizer(
         long_hold_threshold=args.long_hold_ms / 1000.0
     )
-    with sanitizer.installed():
+    store_sanitizer = None
+    if args.store:
+        from .analysis.store_sanitizer import StoreSanitizer
+
+        store_sanitizer = StoreSanitizer()
+    with sanitizer.installed(), (
+        store_sanitizer.installed()
+        if store_sanitizer is not None
+        else _noop_context()
+    ):
         platform = Platform()
         workload = generate_workload(WorkloadConfig(
             n_users=max(5, args.contents // 20),
@@ -614,7 +687,13 @@ def _cmd_sanitize(args) -> int:
           f"  failed: {stats.failed}")
     print()
     print(report.render())
-    return 1 if report.inversions else 0
+    failed = bool(report.inversions)
+    if store_sanitizer is not None:
+        store_report = store_sanitizer.report()
+        print()
+        print(store_report.render())
+        failed = failed or store_report.violations > 0
+    return 1 if failed else 0
 
 
 def _cmd_explain(args) -> int:

@@ -1,5 +1,8 @@
 """Batch annotation of legacy content (paper §6 / conclusion).
 
+Graph-writes: the caller-supplied target graph, from the single-threaded
+drain loop only
+
 "There's a huge amount of content already present in our platform that
 remains to be semantically annotated. Solving this issue requires to
 create and introduce new automatic batch processing mechanisms."
@@ -266,11 +269,14 @@ class BatchAnnotator:
         resource = payload
         added = 0
         for annotation in result.annotations:
-            before = len(self.target)
-            self.target.add(
+            # insert() reports newness atomically — the previous
+            # len()-before/len()-after straddle read store statistics
+            # mid-write (the EF004 lint rule) and would miscount under
+            # a concurrent writer
+            if self.target.insert(
                 (resource, DCTERMS.subject, annotation.resource)
-            )
-            added += len(self.target) - before
+            ):
+                added += 1
         stats.processed += 1
         if result.annotations:
             stats.annotated += 1

@@ -1,5 +1,8 @@
 """The ``dump-rdf`` feature: materialize a relational DB as RDF.
 
+Graph-writes: the caller-supplied (or fresh) dump target, atomically
+after the relational scan completes
+
 This is the exact workflow the paper describes (§2.1): rather than running
 D2R as a live SPARQL façade, the platform dumps its relational data to
 N-Triples once and bulk-loads the dump into the triple store next to the
@@ -119,10 +122,21 @@ def dump_graph(
     graph: Optional[Graph] = None,
     validate: bool = False,
 ) -> Graph:
-    """Apply ``mapping`` to ``db`` and collect the triples in a graph."""
+    """Apply ``mapping`` to ``db`` and collect the triples in a graph.
+
+    The dump is materialized *before* the store is touched: feeding the
+    live generator straight to ``add_all`` would hold the store's write
+    lock across the whole relational scan, and a
+    :class:`~repro.d2r.mapping.MappingError` raised mid-stream (link
+    validation is per-table, after earlier tables already emitted)
+    would leave the target graph half-populated. This way a failing
+    dump leaves ``graph`` untouched and the lock is held only for the
+    bulk load.
+    """
+    triples = list(dump_triples(db, mapping, validate=validate))
     if graph is None:
         graph = Graph()
-    graph.add_all(dump_triples(db, mapping, validate=validate))
+    graph.add_all(triples)
     return graph
 
 

@@ -1,5 +1,8 @@
 """The UGC sharing platform (the paper's TeamLife).
 
+Graph-writes: the platform's own semantic graph (rebuilt by
+``semanticize``) and the local merged union before it is frozen
+
 Integration point of the substrates:
 
 * content and users live in the Coppermine-style relational DB
@@ -24,7 +27,7 @@ from ..core.annotator import AnnotationResult, SemanticAnnotator
 from ..core.location import LocationAnalyzer
 from ..d2r.dump import dump_graph, dump_ntriples
 from ..lod.datasets import LodCorpus, build_lod_corpus
-from ..rdf.graph import Dataset, Graph
+from ..rdf.graph import Dataset, Graph, freeze
 from ..rdf.namespace import DCTERMS
 from ..relational.database import Database
 from ..sparql.evaluator import Evaluator
@@ -362,15 +365,26 @@ class Platform:
         return self.corpus.as_dataset(self._semantic_graph)
 
     def union_graph(self) -> Graph:
+        """The merged corpus + platform graph, as a *read-only* view.
+
+        The union is a derived copy: a write to it would never reach
+        the corpus or the platform graph, so the cache is frozen before
+        it is handed out (build-then-publish — mutation happens on the
+        local merged graph, then ``freeze()`` shares its indexes
+        zero-copy). Consumers that need fresh results after an upload
+        re-pull this method; see :class:`~repro.platform.sparql_push.
+        SparqlPushService` for the provider-based pattern.
+        """
         if self._semantic_graph is None or self._dirty:
             self.semanticize()
         if self._union is None:
-            self._union = self.corpus.union(self._semantic_graph)
+            merged = self.corpus.union(self._semantic_graph)
             if self.inference:
                 from ..lod.ontology import build_ontology
                 from ..rdf.inference import rdfs_closure
 
-                rdfs_closure(self._union, build_ontology())
+                rdfs_closure(merged, build_ontology())
+            self._union = freeze(merged)
         return self._union
 
     def evaluator(self) -> Evaluator:

@@ -1,5 +1,7 @@
 """sparqlPuSH — proactive notification of RDF store updates.
 
+Graph-writes: none
+
 The paper cites Passant & Mendes' sparqlPuSH [10] as a direct influence:
 "proactive notification of data updates in RDF stores using
 PubSubHubbub". A client registers a SPARQL SELECT as a subscription;
@@ -12,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Tuple, Union
 
 from ..federation.pubsub import Hub
 from ..rdf.graph import Graph
@@ -35,15 +37,38 @@ class _Registration:
     last_rows: FrozenSet[Tuple] = frozenset()
 
 
+#: Either a graph, or a zero-argument callable returning the current
+#: graph (``platform.union_graph`` — re-pulled on every evaluation).
+GraphSource = Union[Graph, Callable[[], Graph]]
+
+
 class SparqlPushService:
     """Re-evaluates registered queries on store updates and publishes
-    the row-level deltas through a PubSubHubbub-style hub."""
+    the row-level deltas through a PubSubHubbub-style hub.
 
-    def __init__(self, graph: Graph, hub: Optional[Hub] = None) -> None:
-        self.graph = graph
+    ``graph`` may be a live :class:`~repro.rdf.graph.Graph` or a
+    zero-argument *provider* callable. Pass the provider form
+    (``SparqlPushService(platform.union_graph)``) when the store hands
+    out derived read-only snapshots: each :meth:`notify_update` then
+    re-pulls the current union instead of watching a stale copy —
+    previously callers had to hand-feed new triples into the snapshot,
+    exactly the lost-write pattern the EF003 lint rule rejects.
+    """
+
+    def __init__(
+        self, graph: GraphSource, hub: Optional[Hub] = None
+    ) -> None:
+        self._source: GraphSource = graph
         self.hub = hub or Hub()
         self._registrations: Dict[str, _Registration] = {}
         self._counter = itertools.count(1)
+
+    @property
+    def graph(self) -> Graph:
+        """The graph queries currently evaluate against."""
+        if callable(self._source):
+            return self._source()
+        return self._source
 
     # ------------------------------------------------------------------
     def register(self, query: str) -> str:
@@ -89,8 +114,9 @@ class SparqlPushService:
         query and publishes per-query deltas. Returns sub_id →
         deliveries."""
         deliveries: Dict[str, int] = {}
+        graph = self.graph  # one provider pull for the whole round
         for sub_id, registration in self._registrations.items():
-            result = Evaluator(self.graph).evaluate(registration.query)
+            result = Evaluator(graph).evaluate(registration.query)
             assert isinstance(result, SelectResult)
             rows_by_key = {_row_key(r): r for r in result}
             current = frozenset(rows_by_key)

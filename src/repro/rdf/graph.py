@@ -1,6 +1,7 @@
 """Indexed in-memory triple store.
 
 Concurrency: single-writer
+Graph-writes: the store itself (every sanctioned mutation entry point)
 
 :class:`Graph` is the storage substrate that stands in for the paper's
 OpenLink Virtuoso installation. It keeps three hash indexes (SPO, POS, OSP)
@@ -97,18 +98,30 @@ class Graph:
     # ------------------------------------------------------------------
     def add(self, triple: Iterable[Any]) -> "Graph":
         """Add one triple; values are coerced with ``term_from_python``."""
+        self.insert(triple)
+        return self
+
+    def insert(self, triple: Iterable[Any]) -> bool:
+        """Add one triple; return True when it was not already present.
+
+        The atomic alternative to the ``len()``-before/``len()``-after
+        straddle around :meth:`add` — membership and mutation happen
+        under one lock acquisition, so the newness answer is exact even
+        with concurrent writers.
+        """
         s, p, o = triple
         s = self._as_node(s)
         p = self._as_predicate(p)
         o = term_from_python(o)
         with self._lock:
-            if not self._contains(s, p, o):
-                _index_add(self._spo, s, p, o)
-                _index_add(self._pos, p, o, s)
-                _index_add(self._osp, o, s, p)
-                self._size += 1
-                self._version += 1
-        return self
+            if self._contains(s, p, o):
+                return False
+            _index_add(self._spo, s, p, o)
+            _index_add(self._pos, p, o, s)
+            _index_add(self._osp, o, s, p)
+            self._size += 1
+            self._version += 1
+        return True
 
     def add_all(self, triples: Iterable[Iterable[Any]]) -> "Graph":
         with self._lock:  # one acquisition for the whole batch
@@ -364,6 +377,64 @@ class Graph:
         raise ValueError(f"unknown format: {fmt!r}")
 
 
+class FrozenGraphError(TypeError):
+    """A mutation was attempted on a read-only graph view."""
+
+
+class FrozenGraph(Graph):
+    """A read-only view of a graph: every mutation entry point raises.
+
+    Derived copies (:meth:`Dataset.union_graph`,
+    ``Platform.union_graph``) hand these out so a caller cannot write
+    into a merged snapshot expecting the change to reach the underlying
+    stores — the silent-lost-write bug the ``EF003`` lint rule catches
+    statically. Use :meth:`Graph.copy` to thaw into a private mutable
+    graph.
+    """
+
+    def _refuse(self, op: str) -> None:
+        raise FrozenGraphError(
+            f"{op}() on a read-only graph view ({self.identifier}); "
+            f"write to the source graphs, or copy() to thaw"
+        )
+
+    def add(self, triple: Iterable[Any]) -> "Graph":
+        self._refuse("add")
+
+    def insert(self, triple: Iterable[Any]) -> bool:
+        self._refuse("insert")
+
+    def add_all(self, triples: Iterable[Iterable[Any]]) -> "Graph":
+        self._refuse("add_all")
+
+    def remove(self, pattern: TriplePattern) -> int:
+        self._refuse("remove")
+
+    def clear(self) -> None:
+        self._refuse("clear")
+
+    def __repr__(self) -> str:
+        return (
+            f"FrozenGraph({str(self.identifier)!r}, "
+            f"triples={self._size})"
+        )
+
+
+def freeze(graph: Graph) -> FrozenGraph:
+    """A zero-copy read-only view sharing ``graph``'s indexes.
+
+    The builder graph must be discarded after freezing (the sanctioned
+    build-then-publish idiom: populate a fresh graph, freeze it, hand
+    out only the frozen view) — further writes through the builder
+    would be visible in the view.
+    """
+    if isinstance(graph, FrozenGraph):
+        return graph
+    frozen = FrozenGraph.__new__(FrozenGraph)
+    frozen.__dict__.update(graph.__dict__)
+    return frozen
+
+
 class Dataset:
     """A collection of named graphs plus a default graph.
 
@@ -405,12 +476,15 @@ class Dataset:
         return URIRef(str(identifier)) in self._named
 
     def union_graph(self) -> Graph:
-        """A merged graph of the default graph and every named graph."""
+        """A merged *read-only* view of the default graph and every
+        named graph. Writes must go to the member graphs — mutating the
+        union would be silently lost, so it raises
+        :class:`FrozenGraphError` instead (use ``copy()`` to thaw)."""
         merged = Graph(URIRef("urn:graph:union"), self.default.namespaces)
         merged.add_all(self.default)
         for graph in self._named.values():
             merged.add_all(graph)
-        return merged
+        return freeze(merged)
 
     def __len__(self) -> int:
         return len(self.default) + sum(len(g) for g in self._named.values())

@@ -1,5 +1,8 @@
 """SPARQL query evaluation over :class:`repro.rdf.Graph`.
 
+Graph-writes: fresh result graphs materialized for CONSTRUCT
+queries
+
 Evaluation streams solution mappings (dicts of variable → term) through
 the group-graph-pattern elements:
 

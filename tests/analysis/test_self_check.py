@@ -68,8 +68,10 @@ def test_report_aggregation_and_raise():
 
 def test_rule_registry_covers_all_components():
     components = {rule.component for rule in RULES.values()}
-    assert components == {"sparql", "d2r", "shape", "concurrency"}
-    assert len(RULES) >= 30
+    assert components == {
+        "sparql", "d2r", "shape", "concurrency", "effects",
+    }
+    assert len(RULES) >= 40
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,265 @@
+"""Runtime store-sanitizer tests: traffic counters, mutation-during-
+iteration detection, Graph-writes contract enforcement, and the
+observational-equivalence regression (a sanitized run returns the same
+query results as an unsanitized one)."""
+
+from repro.analysis.store_sanitizer import StoreSanitizer
+from repro.obs import get_registry
+from repro.rdf import FOAF, Graph, RDF, SIOCT, URIRef
+from repro.sparql import Evaluator
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return URIRef(EX + name)
+
+
+def populated(n=5):
+    graph = Graph()
+    for i in range(n):
+        graph.add((ex(f"pic{i}"), RDF.type, SIOCT.MicroblogPost))
+        graph.add((ex(f"pic{i}"), FOAF.maker, ex("walter")))
+    return graph
+
+
+def counter_value(name):
+    return get_registry().counter(name, "").value
+
+
+class TestTrafficCounters:
+    def test_reads_and_writes_counted(self):
+        graph = populated()
+        sanitizer = StoreSanitizer()
+        reads_before = counter_value("repro_store_reads_total")
+        writes_before = counter_value("repro_store_writes_total")
+        with sanitizer.installed():
+            graph.add((ex("new"), RDF.type, SIOCT.MicroblogPost))
+            list(graph.triples((None, None, None)))
+        report = sanitizer.report()
+        assert report.writes == 1
+        assert report.reads >= 1
+        assert report.violations == 0
+        assert (
+            counter_value("repro_store_reads_total") - reads_before
+            == report.reads
+        )
+        assert (
+            counter_value("repro_store_writes_total") - writes_before
+            == report.writes
+        )
+
+    def test_add_all_counts_one_write_per_triple(self):
+        graph = Graph()
+        sanitizer = StoreSanitizer()
+        with sanitizer.installed():
+            graph.add_all(
+                (ex(f"s{i}"), RDF.type, SIOCT.MicroblogPost)
+                for i in range(3)
+            )
+        assert sanitizer.report().writes == 3
+
+    def test_uninstalled_observes_nothing(self):
+        graph = populated()
+        sanitizer = StoreSanitizer()
+        list(graph.triples((None, None, None)))
+        graph.add((ex("x"), RDF.type, SIOCT.MicroblogPost))
+        report = sanitizer.report()
+        assert report.reads == 0 and report.writes == 0
+
+    def test_disabled_sanitizer_is_noop(self):
+        graph = populated()
+        sanitizer = StoreSanitizer(enabled=False)
+        with sanitizer.installed():
+            graph.add((ex("x"), RDF.type, SIOCT.MicroblogPost))
+            list(graph.triples((None, None, None)))
+        report = sanitizer.report()
+        assert report.reads == 0 and report.writes == 0
+
+
+class TestIterMutation:
+    def test_mutation_during_iteration_detected(self):
+        graph = populated()
+        sanitizer = StoreSanitizer()
+        iter_before = counter_value("repro_store_iter_mutations_total")
+        with sanitizer.installed():
+            for index, triple in enumerate(
+                graph.triples((None, RDF.type, None))
+            ):
+                if index == 0:
+                    # a different predicate: the iterated index survives,
+                    # only the version moves — the subtle case a plain
+                    # RuntimeError would never surface
+                    graph.add(
+                        (ex("intruder"), FOAF.maker, ex("walter"))
+                    )
+        report = sanitizer.report()
+        assert len(report.iter_mutations) == 1
+        mutation = report.iter_mutations[0]
+        assert mutation.seen_version > mutation.start_version
+        assert "mutated during iteration" in mutation.describe()
+        assert (
+            counter_value("repro_store_iter_mutations_total")
+            - iter_before == 1
+        )
+
+    def test_colliding_mutation_recorded_before_runtime_error(self):
+        # writing into the very index being iterated makes the dict
+        # raise; the sanitizer still records the violation first
+        import pytest
+
+        graph = populated()
+        sanitizer = StoreSanitizer()
+        with sanitizer.installed():
+            with pytest.raises(RuntimeError):
+                for _ in graph.triples((None, RDF.type, None)):
+                    graph.add(
+                        (ex("intruder"), RDF.type,
+                         SIOCT.MicroblogPost)
+                    )
+        assert len(sanitizer.report().iter_mutations) == 1
+
+    def test_one_violation_per_iterator(self):
+        # many writes during one live iteration: still one record
+        graph = populated(8)
+        sanitizer = StoreSanitizer()
+        with sanitizer.installed():
+            for index, _ in enumerate(
+                graph.triples((None, RDF.type, None))
+            ):
+                graph.add(
+                    (ex(f"w{index}"), FOAF.maker, ex("walter"))
+                )
+        assert len(sanitizer.report().iter_mutations) == 1
+
+    def test_materialize_first_is_clean(self):
+        graph = populated()
+        sanitizer = StoreSanitizer()
+        with sanitizer.installed():
+            matches = list(graph.triples((None, RDF.type, None)))
+            for s, p, o in matches:
+                graph.add((s, FOAF.maker, ex("copy")))
+        assert sanitizer.report().iter_mutations == []
+
+    def test_graph_remove_is_not_flagged(self):
+        # Graph.remove materializes its matches before deleting — the
+        # store's own sanctioned pattern must stay clean
+        graph = populated()
+        sanitizer = StoreSanitizer()
+        with sanitizer.installed():
+            graph.remove((None, FOAF.maker, None))
+        assert sanitizer.report().iter_mutations == []
+
+
+class TestContractViolations:
+    def _writer_module(self, doc):
+        namespace = {
+            "__name__": "fake.reader",
+            "__doc__": doc,
+        }
+        exec(
+            compile(
+                "def write(graph, triple):\n"
+                "    graph.add(triple)\n",
+                "fake_reader.py", "exec",
+            ),
+            namespace,
+        )
+        return namespace["write"]
+
+    def test_write_under_none_contract_flagged(self):
+        write = self._writer_module(
+            "Reader module.\n\nGraph-writes: none\n"
+        )
+        graph = Graph()
+        sanitizer = StoreSanitizer()
+        contract_before = counter_value(
+            "repro_store_contract_violations_total"
+        )
+        with sanitizer.installed():
+            write(graph, (ex("s"), RDF.type, SIOCT.MicroblogPost))
+        report = sanitizer.report()
+        assert len(report.contract_violations) == 1
+        violation = report.contract_violations[0]
+        assert violation.module == "fake.reader"
+        assert violation.op == "insert"
+        assert "Graph-writes: none" in violation.describe()
+        assert (
+            counter_value("repro_store_contract_violations_total")
+            - contract_before == 1
+        )
+
+    def test_declared_writer_is_clean(self):
+        write = self._writer_module(
+            "Writer module.\n\nGraph-writes: the caller's graph\n"
+        )
+        graph = Graph()
+        sanitizer = StoreSanitizer()
+        with sanitizer.installed():
+            write(graph, (ex("s"), RDF.type, SIOCT.MicroblogPost))
+        assert sanitizer.report().contract_violations == []
+
+    def test_undeclared_module_not_flagged_at_runtime(self):
+        # missing contracts are the static EF006 warning's job
+        write = self._writer_module("Writer module, no contract.")
+        graph = Graph()
+        sanitizer = StoreSanitizer()
+        with sanitizer.installed():
+            write(graph, (ex("s"), RDF.type, SIOCT.MicroblogPost))
+        assert sanitizer.report().contract_violations == []
+
+
+class TestObservationalEquivalence:
+    QUERY = "SELECT ?p WHERE { ?p a sioct:MicroblogPost }"
+
+    def test_sanitized_query_results_identical(self):
+        # the REPRO_SANITIZE=1 invariant: wrapping the store must not
+        # change what queries return
+        plain = [
+            dict(row)
+            for row in Evaluator(populated()).evaluate(self.QUERY)
+        ]
+        sanitizer = StoreSanitizer()
+        with sanitizer.installed():
+            wrapped = [
+                dict(row)
+                for row in Evaluator(populated()).evaluate(self.QUERY)
+            ]
+        assert wrapped == plain
+        report = sanitizer.report()
+        assert report.reads > 0  # the evaluator's reads were observed
+        assert report.violations == 0
+
+    def test_entry_points_restored_after_uninstall(self):
+        original_triples = Graph.__dict__["triples"]
+        original_insert = Graph.__dict__["insert"]
+        sanitizer = StoreSanitizer()
+        with sanitizer.installed():
+            assert Graph.__dict__["triples"] is not original_triples
+            assert Graph.__dict__["insert"] is not original_insert
+        assert Graph.__dict__["triples"] is original_triples
+        assert Graph.__dict__["insert"] is original_insert
+
+
+class TestReportRendering:
+    def test_render_includes_violations(self):
+        graph = populated()
+        sanitizer = StoreSanitizer()
+        with sanitizer.installed():
+            for index, _ in enumerate(
+                graph.triples((None, RDF.type, None))
+            ):
+                if index == 0:
+                    graph.add((ex("w"), FOAF.maker, ex("walter")))
+        rendered = sanitizer.report().render()
+        assert "ITER MUTATION" in rendered
+        assert "reads:" in rendered
+
+    def test_reset_clears_state(self):
+        graph = populated()
+        sanitizer = StoreSanitizer()
+        with sanitizer.installed():
+            graph.add((ex("x"), RDF.type, SIOCT.MicroblogPost))
+        sanitizer.reset()
+        report = sanitizer.report()
+        assert report.writes == 0 and report.violations == 0

@@ -80,6 +80,30 @@ class FakePlatform:
         return self._items[pid]
 
 
+class TestTriplesAdded:
+    def test_duplicate_annotations_not_double_counted(self):
+        # triples_added is computed with Graph.insert()'s atomic
+        # newness answer — the old len()-before/len()-after straddle
+        # (the EF004 lint finding) measured the same thing only by
+        # racing the store's statistics
+        platform = FakePlatform([1, 2, 3])
+        target = Graph()
+        first = BatchAnnotator(platform, target, workers=1)
+        assert first.run().triples_added == 3
+        # re-annotating the same catalog into the same target adds
+        # nothing: every insert() reports the triple as already present
+        second = BatchAnnotator(platform, target, workers=1)
+        assert second.run().triples_added == 0
+        assert len(target) == 3
+
+    def test_insert_reports_newness(self):
+        g = Graph()
+        triple = (URIRef("urn:s"), URIRef("urn:p"), URIRef("urn:o"))
+        assert g.insert(triple) is True
+        assert g.insert(triple) is False
+        assert len(g) == 1
+
+
 class TestCheckpointOrdering:
     def test_pending_pids_sorted_despite_platform_order(self):
         platform = FakePlatform(

@@ -171,6 +171,34 @@ class TestDump:
         with pytest.raises(MappingError):
             dump_ntriples(gallery_db, mapping)
 
+    def test_failed_dump_leaves_target_untouched(self, gallery_db):
+        # the dump is materialized before the store is touched: a
+        # MappingError raised after the first table already produced
+        # triples must not leave the target half-populated (the EF002
+        # regression — the old code fed the live generator to add_all)
+        from repro.rdf import Graph
+
+        mapping = D2RMapping()
+        mapping.add(
+            TableMap(
+                table="users",
+                uri_pattern=UriPattern(str(TL_USER) + "{user_id}"),
+                rdf_class=FOAF.Person,
+            )
+        )
+        mapping.add(
+            TableMap(
+                table="pictures",
+                uri_pattern=UriPattern(str(TL_PID) + "{pid}"),
+                links=[LinkMap("owner_id", FOAF.maker, "albums")],
+            )
+        )
+        target = Graph()
+        target.add((TL_USER["99"], RDF.type, FOAF.Person))
+        with pytest.raises(MappingError):
+            dump_graph(gallery_db, mapping, graph=target)
+        assert len(target) == 1  # only the pre-existing triple
+
     def test_dangling_fk_skipped(self, gallery_mapping):
         db = Database()
         db.execute("CREATE TABLE users (user_id INTEGER PRIMARY KEY, "

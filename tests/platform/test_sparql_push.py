@@ -144,21 +144,42 @@ class TestPlatformIntegration:
             username="walter", title="Mole uno", tags=(),
             timestamp=1000, point=Point(7.6930, 45.0690),
         ))
-        union = platform.union_graph()
-        push = SparqlPushService(union)
+        # provider form: notify_update re-pulls the current union, so a
+        # re-semanticized upload is visible without hand-feeding triples
+        push = SparqlPushService(platform.union_graph)
         album = geo_album("Mole Antonelliana", radius_km=0.3)
         sub_id = push.register(album.query)
         received = []
         push.listen(sub_id, "mobile",
                     lambda t, p: received.append(p))
 
-        # a second upload re-semanticizes; feed the fresh triples in
         platform.upload(Capture(
             username="walter", title="Mole due", tags=(),
             timestamp=2000, point=Point(7.6931, 45.0691),
         ))
-        union.add_all(platform.union_graph())
         push.notify_update()
 
         assert len(received) == 1
         assert len(received[0]["added"]) == 1
+
+    def test_union_snapshot_is_read_only(self):
+        """The union handed to watchers is a frozen view: feeding
+        triples into it (the old workaround for stale snapshots) now
+        raises instead of silently diverging from the store."""
+        from repro.platform import Capture, Platform
+        from repro.rdf.graph import FrozenGraphError
+        from repro.sparql import Point
+
+        platform = Platform()
+        platform.register_user("walter", "Walter Goix")
+        platform.upload(Capture(
+            username="walter", title="Mole uno", tags=(),
+            timestamp=1000, point=Point(7.6930, 45.0690),
+        ))
+        union = platform.union_graph()
+        with pytest.raises(FrozenGraphError):
+            union.add((ex("x"), RDF.type, SIOCT.MicroblogPost))
+        # a thawed copy is writable and leaves the union untouched
+        thawed = union.copy()
+        thawed.add((ex("x"), RDF.type, SIOCT.MicroblogPost))
+        assert len(thawed) == len(union) + 1

@@ -203,6 +203,86 @@ class TestDataset:
         assert len(ds) == 0
 
 
+class TestInsert:
+    def test_insert_reports_newness(self):
+        g = Graph()
+        assert g.insert((ex("a"), FOAF.name, Literal("A"))) is True
+        assert g.insert((ex("a"), FOAF.name, Literal("A"))) is False
+        assert len(g) == 1
+
+    def test_insert_coerces_like_add(self):
+        g = Graph()
+        assert g.insert((EX + "a", FOAF.name, "A")) is True
+        assert (ex("a"), FOAF.name, Literal("A")) in g
+
+    def test_duplicate_insert_does_not_bump_version(self):
+        g = Graph()
+        g.insert((ex("a"), FOAF.name, Literal("A")))
+        version = g._version
+        g.insert((ex("a"), FOAF.name, Literal("A")))
+        assert g._version == version
+
+
+class TestFrozenGraph:
+    def test_union_graph_is_read_only(self):
+        from repro.rdf import FrozenGraph, FrozenGraphError
+
+        ds = Dataset()
+        ds.default.add((ex("a"), FOAF.name, Literal("A")))
+        union = ds.union_graph()
+        assert isinstance(union, FrozenGraph)
+        for mutate in (
+            lambda: union.add((ex("b"), FOAF.name, Literal("B"))),
+            lambda: union.insert((ex("b"), FOAF.name, Literal("B"))),
+            lambda: union.add_all([(ex("b"), FOAF.name, Literal("B"))]),
+            lambda: union.remove((None, None, None)),
+            lambda: union.clear(),
+        ):
+            with pytest.raises(FrozenGraphError):
+                mutate()
+        assert len(union) == 1  # nothing got through
+
+    def test_frozen_graph_error_is_type_error(self):
+        # callers that guarded with TypeError keep working
+        from repro.rdf import FrozenGraphError
+
+        assert issubclass(FrozenGraphError, TypeError)
+
+    def test_freeze_is_zero_copy_view(self):
+        from repro.rdf import freeze
+
+        g = Graph()
+        g.add((ex("a"), FOAF.name, Literal("A")))
+        frozen = freeze(g)
+        assert set(frozen.triples()) == set(g.triples())
+        assert frozen._spo is g._spo  # shared indexes, no copy
+
+    def test_freeze_idempotent(self):
+        from repro.rdf import freeze
+
+        frozen = freeze(Graph())
+        assert freeze(frozen) is frozen
+
+    def test_copy_thaws(self):
+        ds = Dataset()
+        ds.default.add((ex("a"), FOAF.name, Literal("A")))
+        union = ds.union_graph()
+        thawed = union.copy()
+        thawed.add((ex("b"), FOAF.name, Literal("B")))
+        assert len(thawed) == 2
+        assert len(union) == 1
+
+    def test_frozen_reads_still_work(self):
+        ds = Dataset()
+        ds.default.add((ex("a"), FOAF.name, Literal("A")))
+        ds.default.add((ex("a"), RDF.type, FOAF.Person))
+        union = ds.union_graph()
+        assert union.value(ex("a"), FOAF.name) == Literal("A")
+        assert union.types(ex("a")) == {FOAF.Person}
+        assert union.count() == 2
+        assert "FrozenGraph" in repr(union)
+
+
 # ---------------------------------------------------------------------------
 # Property-based tests on index consistency
 # ---------------------------------------------------------------------------

@@ -230,18 +230,22 @@ class TestLintConcurrency:
     def test_json_output_to_stdout(self, tmp_path, capsys):
         import json
 
+        from repro.analysis import CATALOG_VERSION
+
         target = tmp_path / "dirty.py"
         target.write_text(CC_DIRTY)
         assert main([
             "lint", "--concurrency", str(target), "--json", "-",
         ]) == 1
         out = capsys.readouterr().out
-        start, end = out.index("["), out.rindex("]") + 1
-        payload = json.loads(out[start:end])
+        start, end = out.index("{"), out.rindex("}") + 1
+        envelope = json.loads(out[start:end])
+        assert envelope["catalog"] == CATALOG_VERSION
+        payload = envelope["diagnostics"]
         assert any(entry["rule"] == "CC003" for entry in payload)
         entry = payload[0]
         assert set(entry) == {
-            "rule", "severity", "message", "source", "span",
+            "rule", "severity", "message", "source", "line", "span",
             "suggestion",
         }
 
@@ -256,8 +260,88 @@ class TestLintConcurrency:
             "--json", str(report),
         ]) == 1
         capsys.readouterr()
-        payload = json.loads(report.read_text())
+        envelope = json.loads(report.read_text())
+        payload = envelope["diagnostics"]
         assert payload and payload[0]["severity"] == "error"
+
+    def test_json_output_is_sorted_deterministically(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        target = tmp_path / "dirty.py"
+        target.write_text(CC_DIRTY)
+        assert main([
+            "lint", "--concurrency", "--effects", str(target),
+            "--json", "-",
+        ]) == 1
+        out = capsys.readouterr().out
+        start, end = out.index("{"), out.rindex("}") + 1
+        payload = json.loads(out[start:end])["diagnostics"]
+
+        def key(entry):
+            line = entry["line"]
+            if line is None:
+                line = entry["span"][0] if entry["span"] else 0
+            return (
+                entry["source"] or "", line, entry["rule"],
+                entry["message"],
+            )
+
+        assert [key(e) for e in payload] == sorted(
+            key(e) for e in payload
+        )
+
+
+EF_DIRTY = """\
+def poke(graph):
+    graph._spo.clear()
+"""
+
+EF_WARN_ONLY = """\
+def build(graph):
+    graph.add((1, 2, 3))
+"""
+
+
+class TestLintEffects:
+    def test_clean_file_exits_0(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", "--effects", str(target)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_dirty_file_exits_1(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(EF_DIRTY)
+        assert main(["lint", "--effects", str(target)]) == 1
+        assert "EF001" in capsys.readouterr().out
+
+    def test_repro_package_default_target_is_clean(self, capsys):
+        # the checked-in baseline: the package's own store discipline
+        # is clean under its analyzer, warnings included
+        assert main([
+            "lint", "--effects", "--fail-on", "warning",
+        ]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_fail_on_warning_promotes_exit_code(self, tmp_path, capsys):
+        target = tmp_path / "warn.py"
+        target.write_text(EF_WARN_ONLY)
+        # EF006 (missing Graph-writes contract) is a warning: exit 0
+        # under the default policy, 1 under --fail-on warning
+        assert main(["lint", "--effects", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "EF006" in out
+        assert main([
+            "lint", "--effects", str(target), "--fail-on", "warning",
+        ]) == 1
+
+    def test_unknown_fail_on_exits_2(self, capsys):
+        assert main([
+            "lint", "--effects", "--fail-on", "fatal",
+        ]) == 2
+        assert "unknown severity" in capsys.readouterr().err
 
 
 class TestSanitize:
@@ -269,6 +353,15 @@ class TestSanitize:
         out = capsys.readouterr().out
         assert "processed : 10" in out
         assert "inversions" in out
+
+    def test_store_smoke_run_exits_0(self, capsys):
+        assert main([
+            "sanitize", "--store", "--contents", "10",
+            "--workers", "2", "--batch-size", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "iter mutations" in out
+        assert "contract violations: 0" in out
 
     def test_invalid_workers_exits_2(self, capsys):
         assert main(["sanitize", "--workers", "0"]) == 2
