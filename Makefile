@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check test lint-tools self-check lint-concurrency lint-effects \
-	sanitize sanitize-store benchmarks
+	sanitize sanitize-store benchmarks bench-store
 
 ## The CI gate: tier-1 tests + static analysis + the repo's own lint.
 check: test lint-tools self-check lint-concurrency lint-effects
@@ -47,3 +47,8 @@ sanitize-store:
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+## Storage-engine guards: snapshot restart must beat WAL replay >= 2x;
+## reader throughput under an active writer is recorded unguarded.
+bench-store:
+	$(PYTHON) -m pytest benchmarks/bench_store.py --benchmark-only -q

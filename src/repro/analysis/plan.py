@@ -1178,12 +1178,15 @@ class Explanation:
         row_count: Optional[int] = None,
         optimized_ms: Optional[float] = None,
         naive_ms: Optional[float] = None,
+        generation: Optional[int] = None,
     ) -> None:
         self.planned = planned
         self.name = name
         self.row_count = row_count
         self.optimized_ms = optimized_ms
         self.naive_ms = naive_ms
+        #: MVCC generation the evaluator pinned (None for plain graphs)
+        self.generation = generation
 
     def render(self) -> str:
         lines: List[str] = []
@@ -1194,6 +1197,10 @@ class Explanation:
         lines.append(
             "passes: " + ", ".join(self.planned.passes)
         )
+        if self.generation is not None:
+            lines.append(
+                f"pinned store generation: {self.generation}"
+            )
         if self.planned.diagnostics:
             lines.append("rewrites:")
             for diag in self.planned.diagnostics:
@@ -1262,4 +1269,5 @@ def explain(
         row_count=row_count,
         optimized_ms=optimized_ms,
         naive_ms=naive_ms,
+        generation=getattr(evaluator, "generation", None),
     )

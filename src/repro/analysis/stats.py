@@ -55,13 +55,16 @@ _REBUILD_LOCK = threading.Lock()
 class GraphStatistics:
     """Cardinality statistics collected from a graph.
 
-    ``fingerprint`` records ``Graph._version`` at collection time so
-    callers can cheaply detect staleness and re-collect. For graph-like
-    objects without a ``_version`` counter the fingerprint is a fresh
-    sentinel object that never compares equal to anything observed
-    later — *always stale*. (The old fallback of ``len(graph)`` let a
-    same-size mutation — remove one triple, add another — serve stale
-    planner statistics.)
+    ``fingerprint`` records the graph's change fingerprint at
+    collection time so callers can cheaply detect staleness and
+    re-collect: ``Graph._version`` for mutable graphs, or the MVCC
+    store's ``generation`` counter for generation-pinned snapshots
+    (:class:`repro.store.SnapshotGraph`), which is what lets
+    :meth:`cached` serve snapshot statistics without ever rebuilding.
+    Graph-like objects with neither get a fresh sentinel object that
+    never compares equal to anything observed later — *always stale*.
+    (The old fallback of ``len(graph)`` let a same-size mutation —
+    remove one triple, add another — serve stale planner statistics.)
     """
 
     def __init__(
@@ -125,8 +128,8 @@ class GraphStatistics:
             stats = cls(
                 len(graph), predicates, class_counts, bbox, points
             )
-            version = getattr(graph, "_version", None)
-        # no version counter -> a unique sentinel: never equal to any
+            version = _graph_fingerprint(graph)
+        # no fingerprint source -> a unique sentinel: never equal to any
         # later observation, so the snapshot can never be served stale.
         stats.fingerprint = version if version is not None else object()
         # every collection is a (re)build of the planner's statistics;
@@ -149,7 +152,7 @@ class GraphStatistics:
         not N — the interleaving the concurrency analyzer flagged when
         the evaluator open-coded this check.
         """
-        version = getattr(graph, "_version", None)
+        version = _graph_fingerprint(graph)
         stats = getattr(graph, "_stats_cache", None)
         if (
             stats is not None
@@ -160,7 +163,7 @@ class GraphStatistics:
         with _REBUILD_LOCK:
             # double-check: another reader may have rebuilt while we
             # waited on the lock
-            version = getattr(graph, "_version", None)
+            version = _graph_fingerprint(graph)
             stats = getattr(graph, "_stats_cache", None)
             if (
                 stats is not None
@@ -174,6 +177,143 @@ class GraphStatistics:
             except AttributeError:  # pragma: no cover - exotic graphs
                 pass
             return stats
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        added,
+        removed,
+        before,
+        after,
+        fingerprint: object = None,
+    ) -> "GraphStatistics":
+        """Statistics for ``after`` = this snapshot + a generation delta.
+
+        ``added``/``removed`` are the union-effective triples of one
+        committed generation (in op order; an add-then-remove of the
+        same triple nets out). ``before``/``after`` only need
+        ``triples(pattern)`` — the MVCC store passes lightweight state
+        views. Cost is O(delta): per-predicate triple counts and class
+        counts adjust by op, distinct subject/object counts use one
+        bounded membership probe per (predicate, candidate) pair, and
+        the geo bounding box only rescans when a removed point sat on
+        the current boundary. This is what replaces the full rebuild
+        (and its ``repro_graph_stats_rebuilds_total`` tick) on every
+        store commit.
+        """
+        predicates: Dict[Term, list] = {
+            p: [t, s, o] for p, (t, s, o) in self.predicates.items()
+        }
+        class_counts = dict(self.class_counts)
+        bbox = self.bbox
+        points = self.geo_points
+        bbox_stale = False
+        subject_candidates: Dict[Term, Set[Term]] = {}
+        object_candidates: Dict[Term, Set[Term]] = {}
+
+        def entry(predicate: Term) -> list:
+            found = predicates.get(predicate)
+            if found is None:
+                found = [0, 0, 0]
+                predicates[predicate] = found
+            return found
+
+        for s, p, o in added:
+            entry(p)[0] += 1
+            subject_candidates.setdefault(p, set()).add(s)
+            object_candidates.setdefault(p, set()).add(o)
+            if p == RDF.type:
+                class_counts[o] = class_counts.get(o, 0) + 1
+            elif p == GEO.geometry:
+                point = try_parse_point(o)
+                if point is not None:
+                    points += 1
+                    if bbox is None:
+                        bbox = (point.longitude, point.latitude,
+                                point.longitude, point.latitude)
+                    else:
+                        bbox = (
+                            min(bbox[0], point.longitude),
+                            min(bbox[1], point.latitude),
+                            max(bbox[2], point.longitude),
+                            max(bbox[3], point.latitude),
+                        )
+        for s, p, o in removed:
+            entry(p)[0] -= 1
+            subject_candidates.setdefault(p, set()).add(s)
+            object_candidates.setdefault(p, set()).add(o)
+            if p == RDF.type:
+                class_counts[o] = class_counts.get(o, 0) - 1
+            elif p == GEO.geometry:
+                point = try_parse_point(o)
+                if point is not None:
+                    points -= 1
+                    if bbox is not None and (
+                        point.longitude in (bbox[0], bbox[2])
+                        or point.latitude in (bbox[1], bbox[3])
+                    ):
+                        bbox_stale = True
+
+        for p, candidates in subject_candidates.items():
+            counts = predicates.get(p)
+            if counts is None:
+                continue
+            for s in candidates:
+                counts[1] += _has(after, (s, p, None)) - _has(
+                    before, (s, p, None)
+                )
+        for p, candidates in object_candidates.items():
+            counts = predicates.get(p)
+            if counts is None:
+                continue
+            for o in candidates:
+                counts[2] += _has(after, (None, p, o)) - _has(
+                    before, (None, p, o)
+                )
+
+        points = max(points, 0)
+        if points == 0:
+            bbox = None
+        elif bbox_stale:
+            # a boundary point left: one pass over the remaining geo
+            # triples (bounded by the geo predicate, not the graph)
+            min_lon = min_lat = math.inf
+            max_lon = max_lat = -math.inf
+            found = 0
+            for _, _, obj in after.triples((None, GEO.geometry, None)):
+                point = try_parse_point(obj)
+                if point is None:
+                    continue
+                found += 1
+                min_lon = min(min_lon, point.longitude)
+                max_lon = max(max_lon, point.longitude)
+                min_lat = min(min_lat, point.latitude)
+                max_lat = max(max_lat, point.latitude)
+            bbox = (
+                (min_lon, min_lat, max_lon, max_lat) if found else None
+            )
+            points = found
+
+        result = GraphStatistics(
+            max(self.total + len(added) - len(removed), 0),
+            {
+                p: (t, max(s, 0), max(o, 0))
+                for p, (t, s, o) in predicates.items()
+                if t > 0
+            },
+            {c: n for c, n in class_counts.items() if n > 0},
+            bbox,
+            points,
+        )
+        result.fingerprint = fingerprint
+        get_registry().counter(
+            "repro_graph_stats_delta_updates_total",
+            "Incremental GraphStatistics maintenance passes "
+            "(O(delta) commits that avoided a full rebuild).",
+        ).inc()
+        return result
 
     # ------------------------------------------------------------------
     # Scan cardinality
@@ -306,6 +446,28 @@ class GraphStatistics:
                              "STRENDS", "LANGMATCHES"):
                 return _RANGE_SELECTIVITY
         return _DEFAULT_SELECTIVITY
+
+
+def _graph_fingerprint(graph) -> Optional[object]:
+    """The graph's change fingerprint, if it exposes one.
+
+    Mutable :class:`~repro.rdf.graph.Graph` instances expose
+    ``_version`` (bumped per mutation); MVCC store snapshots expose
+    ``generation`` instead (pinned, so it doubles as the statistics
+    fingerprint). ``None`` means no cheap staleness signal exists and
+    the caller must treat cached statistics as always stale.
+    """
+    version = getattr(graph, "_version", None)
+    if version is not None:
+        return version
+    return getattr(graph, "generation", None)
+
+
+def _has(graph, pattern) -> int:
+    """1 when ``graph`` has any triple matching ``pattern``, else 0."""
+    for _ in graph.triples(pattern):
+        return 1
+    return 0
 
 
 def _constant_number(expr: Optional[Expression]) -> Optional[float]:

@@ -70,7 +70,15 @@ __all__ = [
 #: Frames from these modules are the store's own plumbing (``add`` →
 #: ``insert`` delegation, the wrappers themselves) — the *writer* for
 #: contract purposes is the first frame outside them.
-_PLUMBING_MODULES = frozenset({"repro.rdf.graph", __name__})
+_PLUMBING_MODULES = frozenset({
+    "repro.rdf.graph",
+    # the MVCC storage engine: its writes to private base/overlay
+    # graphs are store plumbing, attributed to the committing caller
+    "repro.store.engine",
+    "repro.store.facade",
+    "repro.store.persistence",
+    __name__,
+})
 
 
 def _thread_name() -> str:

@@ -13,6 +13,8 @@ Usage::
     python -m repro lint --concurrency
     python -m repro lint --effects --json -
     python -m repro sanitize --workers 4
+    python -m repro store info /var/lib/repro/store
+    python -m repro store recover /var/lib/repro/store
 
 Each subcommand is a thin wrapper over the library; everything it prints
 can be reproduced programmatically.
@@ -238,6 +240,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run and time the naive evaluation path",
     )
     _add_obs_flags(explain)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain an on-disk MVCC quad-store "
+             "(WAL + snapshots)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_info = store_sub.add_parser(
+        "info",
+        help="print generation, sizes, WAL/snapshot state and the "
+             "recovery outcome of opening the store",
+    )
+    store_info.add_argument("directory", help="store directory")
+    store_compact = store_sub.add_parser(
+        "compact",
+        help="fold overlays, write a fresh snapshot, reset the WAL "
+             "and prune old snapshot files",
+    )
+    store_compact.add_argument("directory", help="store directory")
+    store_recover = store_sub.add_parser(
+        "recover",
+        help="replay snapshot + WAL, truncate any torn tail, and "
+             "report what was restored (the last committed generation)",
+    )
+    store_recover.add_argument("directory", help="store directory")
+    store_load = store_sub.add_parser(
+        "load",
+        help="load an N-Quads (or N-Triples) file into the store as "
+             "one committed generation",
+    )
+    store_load.add_argument("directory", help="store directory")
+    store_load.add_argument("file", help="N-Quads input ('-' for stdin)")
+    store_dump = store_sub.add_parser(
+        "dump",
+        help="print the store's content as canonical sorted N-Quads",
+    )
+    store_dump.add_argument("directory", help="store directory")
 
     obs = sub.add_parser(
         "obs", help="observability utilities (tracing + metrics)"
@@ -768,6 +807,62 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    import json
+
+    from .store import QuadStore
+
+    if args.store_command == "info":
+        with QuadStore(args.directory) as store:
+            print(json.dumps(store.info(), indent=2, sort_keys=True))
+        return 0
+
+    if args.store_command == "compact":
+        with QuadStore(args.directory) as store:
+            summary = store.compact()
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+
+    if args.store_command == "recover":
+        # opening the store *is* the recovery: newest readable snapshot
+        # + committed WAL tail, with any torn trailing record truncated
+        with QuadStore(args.directory) as store:
+            report = store.recovery
+            if report is not None:
+                print(report.render())
+            print(f"generation: {store.generation}")
+            print(f"quads: {store.size}")
+        return 0
+
+    if args.store_command == "load":
+        from .rdf.nquads import parse_nquads
+        from .store.wal import OP_ADD
+
+        if args.file == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        with QuadStore(args.directory) as store:
+            ops = [
+                (OP_ADD, (s, p, o), graph)
+                for s, p, o, graph in parse_nquads(text)
+            ]
+            generation, effective = store.apply(ops)
+            print(
+                f"loaded {effective} new quad(s) "
+                f"({len(ops)} statement(s)) at generation {generation}"
+            )
+        return 0
+
+    if args.store_command == "dump":
+        with QuadStore(args.directory) as store:
+            sys.stdout.write(store.to_nquads())
+        return 0
+
+    raise AssertionError(args.store_command)  # pragma: no cover
+
+
 def _cmd_obs(args) -> int:
     if args.obs_command == "demo":
         return _cmd_obs_demo(args)
@@ -914,6 +1009,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "sanitize": _cmd_sanitize,
     "explain": _cmd_explain,
+    "store": _cmd_store,
     "obs": _cmd_obs,
 }
 

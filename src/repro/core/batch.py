@@ -114,7 +114,14 @@ class Checkpoint:
 
 
 class BatchAnnotator:
-    """Annotates a platform's back catalog in resumable batches."""
+    """Annotates a platform's back catalog in resumable batches.
+
+    ``target`` may be a plain :class:`~repro.rdf.graph.Graph` or a
+    buffered :class:`repro.store.StoreGraph`: any target exposing
+    ``flush`` is flushed at every checkpoint boundary, so one batch of
+    annotations becomes one generation-stamped store commit (one WAL
+    record) and concurrent readers only ever observe whole batches.
+    """
 
     def __init__(
         self,
@@ -240,9 +247,19 @@ class BatchAnnotator:
                 in_batch += 1
                 if in_batch >= self.batch_size:
                     in_batch = 0
-                    if self.on_progress is not None:
-                        self.on_progress(self.checkpoint)
-        if in_batch and self.on_progress is not None:
+                    self._commit_watermark()
+        if in_batch:
+            self._commit_watermark()
+
+    def _commit_watermark(self) -> None:
+        """Checkpoint boundary: flush a buffered store-backed target
+        (one annotation batch → one generation-stamped commit / WAL
+        record) *before* the progress callback, so a checkpoint the
+        callback persists never points past durable data."""
+        flush = getattr(self.target, "flush", None)
+        if callable(flush):
+            flush()
+        if self.on_progress is not None:
             self.on_progress(self.checkpoint)
 
     def _run_parallel(self, pending: List[int], parent=None) -> None:

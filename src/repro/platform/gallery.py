@@ -1,7 +1,8 @@
 """The UGC sharing platform (the paper's TeamLife).
 
 Graph-writes: the platform's own semantic graph (rebuilt by
-``semanticize``) and the local merged union before it is frozen
+``semanticize``), the local merged union before it is frozen, and the
+optionally attached quad-store via generation-stamped sync commits
 
 Integration point of the substrates:
 
@@ -104,6 +105,7 @@ class Platform:
         self._semantic_graph: Optional[Graph] = None
         self._union: Optional[Graph] = None
         self._dirty = True
+        self._store = None
 
     # ------------------------------------------------------------------
     # Users and relationships
@@ -387,6 +389,36 @@ class Platform:
             self._union = freeze(merged)
         return self._union
 
+    # ------------------------------------------------------------------
+    # MVCC quad-store persistence
+    # ------------------------------------------------------------------
+    def attach_store(self, store) -> "Platform":
+        """Back the triple store with an MVCC quad-store
+        (:class:`repro.store.QuadStore`): every
+        :meth:`synchronize_store` reconciles the store with the current
+        corpus + platform graph as one generation-stamped commit, and
+        :meth:`evaluator` serves queries from pinned snapshots of it —
+        with WAL + snapshot durability when the store is on disk."""
+        self._store = store
+        self.synchronize_store()
+        return self
+
+    def synchronize_store(self) -> Optional[int]:
+        """Bring the attached store up to date with the platform's
+        triple store; returns the store generation (None when no store
+        is attached). Unchanged data commits nothing — the generation
+        only advances when the dataset actually differs."""
+        if self._store is None:
+            return None
+        return self._store.sync_dataset(self.triple_store())
+
     def evaluator(self) -> Evaluator:
-        """The platform's SPARQL endpoint over everything."""
+        """The platform's SPARQL endpoint over everything.
+
+        With an attached store (and inference off) the evaluator pins
+        one MVCC snapshot, so it never observes writes committed after
+        this call; otherwise it reads the frozen in-memory union."""
+        if self._store is not None and not self.inference:
+            self.synchronize_store()
+            return Evaluator(self._store)
         return Evaluator(self.union_graph())

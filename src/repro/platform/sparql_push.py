@@ -37,8 +37,10 @@ class _Registration:
     last_rows: FrozenSet[Tuple] = frozenset()
 
 
-#: Either a graph, or a zero-argument callable returning the current
-#: graph (``platform.union_graph`` — re-pulled on every evaluation).
+#: A graph, a zero-argument callable returning the current graph
+#: (``platform.union_graph`` — re-pulled on every evaluation), or an
+#: MVCC quad-store (``repro.store.QuadStore`` — its pinned union head
+#: is re-pulled per round, duck-typed to avoid the import).
 GraphSource = Union[Graph, Callable[[], Graph]]
 
 
@@ -53,6 +55,11 @@ class SparqlPushService:
     re-pulls the current union instead of watching a stale copy —
     previously callers had to hand-feed new triples into the snapshot,
     exactly the lost-write pattern the EF003 lint rule rejects.
+
+    A :class:`repro.store.QuadStore` source works the same way with no
+    callable needed: each round pins the store's current head, so all
+    registered queries in one :meth:`notify_update` evaluate against a
+    single MVCC generation even while writers keep committing.
     """
 
     def __init__(
@@ -68,6 +75,11 @@ class SparqlPushService:
         """The graph queries currently evaluate against."""
         if callable(self._source):
             return self._source()
+        head = getattr(self._source, "head", None)
+        if callable(head) and hasattr(self._source, "dataset_snapshot"):
+            # a quad-store: one pinned generation per notify round, so
+            # every registered query in the round sees the same data
+            return head()
         return self._source
 
     # ------------------------------------------------------------------

@@ -21,8 +21,11 @@ from .terms import Term, URIRef, unescape_literal
 #: A quad: (s, p, o, graph-IRI-or-None).
 Quad = Tuple[Term, Term, Term, Optional[URIRef]]
 
+# Graph-term IRIs accept the same ``\uXXXX``/``\UXXXXXXXX`` escapes as
+# the N-Triples ``_IRI`` pattern so escaped output re-parses.
 _GRAPH_SUFFIX_RE = re.compile(
-    r"\s*<([^<>\"{}|^`\\\x00-\x20]*)>\s*\.\s*(#.*)?$"
+    r"\s*<((?:[^<>\"{}|^`\\\x00-\x20]"
+    r"|\\u[0-9A-Fa-f]{4}|\\U[0-9A-Fa-f]{8})*)>\s*\.\s*(#.*)?$"
 )
 _TRIPLE_END_RE = re.compile(r"\s*\.\s*(#.*)?$")
 

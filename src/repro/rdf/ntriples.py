@@ -33,7 +33,13 @@ class NTriplesError(ValueError):
         self.lineno = lineno
 
 
-_IRI = r"<([^<>\"{}|^`\\\x00-\x20]*)>"
+# IRIs may contain ``\uXXXX``/``\UXXXXXXXX`` escapes — exactly what
+# ``escape_iri`` emits for characters illegal inside ``<...>``, so
+# self-produced output re-parses (writer/parser round-trip).
+_IRI = (
+    r"<((?:[^<>\"{}|^`\\\x00-\x20]"
+    r"|\\u[0-9A-Fa-f]{4}|\\U[0-9A-Fa-f]{8})*)>"
+)
 _BNODE = r"_:([A-Za-z0-9][A-Za-z0-9._-]*)"
 _LITERAL = r'"((?:[^"\\]|\\.)*)"'
 _LANG = r"@([a-zA-Z]{1,8}(?:-[a-zA-Z0-9]{1,8})*)"

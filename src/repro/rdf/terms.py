@@ -15,6 +15,7 @@ nodes < IRIs < literals.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import re
 from typing import Any, Optional, Union
@@ -132,9 +133,20 @@ class URIRef(Term, str):
 
 _bnode_counter = itertools.count()
 
+#: Labels the N-Triples grammar can represent verbatim.
+_BNODE_LABEL_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
+
 
 class BNode(Term, str):
-    """A blank node. Fresh labels are generated when none is given."""
+    """A blank node. Fresh labels are generated when none is given.
+
+    Any non-empty label is accepted (blank nodes are scoped to a graph,
+    so callers may use arbitrary internal keys), but only labels
+    matching the N-Triples grammar serialize verbatim: :meth:`n3`
+    rewrites anything else to a deterministic ``N<sha1>`` label so the
+    writer/parser round-trip always yields parseable, stable output —
+    the same source label maps to the same serialized label everywhere.
+    """
 
     __slots__ = ()
     _order = 1
@@ -147,7 +159,13 @@ class BNode(Term, str):
         return str.__new__(cls, label)
 
     def n3(self) -> str:
-        return f"_:{str(self)}"
+        label = str(self)
+        if _BNODE_LABEL_RE.match(label) is None:
+            digest = hashlib.sha1(
+                label.encode("utf-8", "surrogatepass")
+            ).hexdigest()
+            label = f"N{digest}"
+        return f"_:{label}"
 
     def _sort_key(self) -> tuple:
         return (self._order, str(self))
@@ -267,7 +285,8 @@ class Literal(Term):
         if self._lang:
             return f"{quoted}@{self._lang}"
         if self._datatype:
-            return f"{quoted}^^<{self._datatype}>"
+            # escaped like every other IRI so the output re-parses
+            return f"{quoted}^^<{escape_iri(str(self._datatype))}>"
         return quoted
 
     def _sort_key(self) -> tuple:
@@ -371,15 +390,38 @@ class Variable(Term, str):
     __hash__ = str.__hash__
 
 
+#: Characters that cannot appear raw inside a double-quoted literal:
+#: the quote/backslash themselves, C0 controls (line structure), and
+#: lone surrogates (not encodable to UTF-8 when writing files).
+_LITERAL_ESCAPE_RE = re.compile(r'["\\\x00-\x1f\ud800-\udfff]')
+
+_LITERAL_SIMPLE_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+
 def escape_literal(text: str) -> str:
-    """Escape a string for use inside a double-quoted N-Triples literal."""
-    return (
-        text.replace("\\", "\\\\")
-        .replace('"', '\\"')
-        .replace("\n", "\\n")
-        .replace("\r", "\\r")
-        .replace("\t", "\\t")
-    )
+    """Escape a string for use inside a double-quoted N-Triples literal.
+
+    Total: every Python string — including control characters and lone
+    surrogates — escapes to single-line ASCII-safe form and
+    :func:`unescape_literal` restores it exactly (the WAL and snapshot
+    files of :mod:`repro.store` depend on this round-trip)."""
+    if _LITERAL_ESCAPE_RE.search(text) is None:
+        return text
+
+    def replace(match: "re.Match[str]") -> str:
+        ch = match.group(0)
+        simple = _LITERAL_SIMPLE_ESCAPES.get(ch)
+        if simple is not None:
+            return simple
+        return f"\\u{ord(ch):04X}"
+
+    return _LITERAL_ESCAPE_RE.sub(replace, text)
 
 
 def unescape_literal(text: str) -> str:
@@ -421,11 +463,21 @@ def unescape_literal(text: str) -> str:
 
 
 def escape_iri(iri: str) -> str:
-    """Escape characters not allowed inside ``<...>`` in N-Triples."""
+    """Escape characters not allowed inside ``<...>`` in N-Triples.
+
+    Lone surrogates are escaped too (they cannot reach a UTF-8 file
+    raw); the parser's IRI pattern accepts the resulting
+    ``\\uXXXX``/``\\UXXXXXXXX`` sequences, so escaped output
+    round-trips."""
     out = []
     for ch in iri:
-        if ch in '<>"{}|^`\\' or ord(ch) <= 0x20:
-            out.append(f"\\u{ord(ch):04X}")
+        code = ord(ch)
+        if (
+            ch in '<>"{}|^`\\'
+            or code <= 0x20
+            or 0xD800 <= code <= 0xDFFF
+        ):
+            out.append(f"\\u{code:04X}")
         else:
             out.append(ch)
     return "".join(out)

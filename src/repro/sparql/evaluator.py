@@ -90,6 +90,13 @@ _EMPTY: Bindings = {}
 class Evaluator:
     """Evaluates parsed queries against a graph.
 
+    ``graph`` may be a :class:`~repro.rdf.graph.Graph`, a
+    :class:`~repro.rdf.graph.Dataset`, or an MVCC quad-store
+    (anything exposing ``dataset_snapshot``/``head``/``commit``, i.e.
+    :class:`repro.store.QuadStore`) — a store is pinned to one
+    immutable generation snapshot when the evaluator is built, so
+    concurrent commits never change what a running query sees.
+
     ``functions`` extends/overrides the builtin function registry — this is
     how deployments register extra ``bif:`` style extensions.
 
@@ -117,6 +124,14 @@ class Evaluator:
         optimize: bool = True,
         planner=None,
     ) -> None:
+        pin = getattr(graph, "dataset_snapshot", None)
+        if callable(pin) and hasattr(graph, "head") \
+                and hasattr(graph, "commit"):
+            # an MVCC quad-store (duck-typed — sparql must not import
+            # repro.store): pin one generation for this evaluator's
+            # lifetime, so no query ever observes an in-flight write
+            # batch. The pinned view is a Dataset, handled below.
+            graph = pin()
         if isinstance(graph, Dataset):
             # Virtuoso-style: the default graph for plain BGPs is the
             # union of everything; GRAPH patterns address named graphs.
@@ -125,6 +140,9 @@ class Evaluator:
         else:
             self.dataset = None
             self.graph = graph
+        #: MVCC generation the evaluator is pinned to (None for plain
+        #: graphs) — surfaced by EXPLAIN.
+        self.generation = getattr(self.graph, "generation", None)
         self.functions = dict(FUNCTIONS)
         if functions:
             self.functions.update(functions)

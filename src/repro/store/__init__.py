@@ -1,0 +1,52 @@
+"""Pluggable MVCC quad-store: WAL + snapshots + generation-stamped reads.
+
+Concurrency: thread-safe
+Graph-writes: none
+
+The storage engine extracted out of :class:`repro.rdf.graph.Graph`
+(ROADMAP: "durable, concurrent quad-store backend"):
+
+* :class:`QuadStore` — the engine: immutable published states,
+  single-writer commits, per-context base+overlay segments, in-memory
+  compaction, incremental planner statistics.
+* :class:`SnapshotGraph` / :class:`SnapshotDataset` — generation-pinned
+  read views the SPARQL evaluator and planner run against.
+* :class:`StoreGraph` — a mutable ``Graph``-compatible facade so
+  existing writers (``BatchAnnotator``, D2R loading) run unchanged;
+  ``buffered=True`` turns its :meth:`~StoreGraph.flush` into one
+  generation-stamped batch per checkpoint watermark.
+* :class:`WriteAheadLog` / snapshot files — durability; opening a store
+  directory *is* crash recovery (newest snapshot + WAL tail, torn tail
+  truncated).
+
+The ``repro store`` CLI (``info``/``compact``/``recover``/``load``/
+``dump``) administers store directories; ``repro_store_*`` metrics in
+:mod:`repro.obs` expose generations, WAL traffic and compactions.
+"""
+
+from .engine import (
+    QuadStore,
+    SnapshotDataset,
+    SnapshotGraph,
+    StoreError,
+    WriteBatch,
+    is_quad_store,
+)
+from .facade import StoreGraph
+from .persistence import RecoveryReport, snapshot_files
+from .wal import WalScan, WriteAheadLog, scan_wal
+
+__all__ = [
+    "QuadStore",
+    "RecoveryReport",
+    "SnapshotDataset",
+    "SnapshotGraph",
+    "StoreError",
+    "StoreGraph",
+    "WalScan",
+    "WriteAheadLog",
+    "WriteBatch",
+    "is_quad_store",
+    "scan_wal",
+    "snapshot_files",
+]

@@ -1,0 +1,1045 @@
+"""Generation-stamped MVCC quad-store engine.
+
+Concurrency: thread-safe
+Graph-writes: the store's private base and overlay graphs only
+
+:class:`QuadStore` is the storage engine extracted out of
+:class:`repro.rdf.graph.Graph`. It holds quads (triples grouped into an
+optional named context) in an *immutable published state*: a generation
+number plus, per context, a frozen base graph and a small frozen
+add/remove overlay. Readers pin the current state with one attribute
+read and keep it for as long as they like — a
+:class:`SnapshotGraph`/:class:`SnapshotDataset` never changes under a
+reader, so query evaluation cannot observe an in-flight write batch and
+the mutation-during-iteration hazard the store sanitizer polices at
+runtime is retired by construction.
+
+Writers serialize on one commit lock. A commit computes the *effective*
+ops (no-ops are dropped), appends one WAL record
+(:mod:`repro.store.wal`), derives the next state by copying only the
+touched overlays (``O(overlay)``, not ``O(store)``), maintains
+:class:`repro.analysis.stats.GraphStatistics` incrementally from the
+delta, and publishes the new state with a single atomic reference swap.
+Overlays are folded into a fresh base once they exceed
+``overlay_limit`` so reads stay index-fast.
+
+Durability: WAL + periodic :meth:`QuadStore.checkpoint` snapshot files
+(:mod:`repro.store.persistence`); restart replays snapshot + WAL tail.
+An in-memory store (``directory=None``) skips all file IO.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..obs import get_registry
+from ..rdf.graph import (
+    Dataset,
+    FrozenGraph,
+    FrozenGraphError,
+    Graph,
+    Triple,
+    TriplePattern,
+    freeze,
+)
+from ..rdf.namespace import NamespaceManager
+from ..rdf.nquads import Quad, serialize_quad
+from ..rdf.terms import Term, URIRef, term_from_python
+from .persistence import (
+    DEFAULT_GRAPH_IRI,
+    WAL_FILENAME,
+    RecoveryReport,
+    load_snapshot,
+    prune_snapshots,
+    snapshot_files,
+    write_snapshot,
+)
+from .wal import OP_ADD, OP_REMOVE, WriteAheadLog, scan_wal, truncate_wal
+
+__all__ = [
+    "QuadStore",
+    "SnapshotDataset",
+    "SnapshotGraph",
+    "StoreError",
+    "WriteBatch",
+]
+
+
+class StoreError(ValueError):
+    """A store operation that cannot be performed."""
+
+
+class _Union:
+    """Sentinel scope meaning "all contexts merged"."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<union>"
+
+
+_UNION = _Union()
+
+#: A context key: ``None`` is the default context.
+ContextKey = Optional[URIRef]
+
+#: One batch operation: ``(op, triple, context key)``.
+BatchOp = Tuple[str, Triple, ContextKey]
+
+
+def _as_context(value: Any) -> ContextKey:
+    if value is None:
+        return None
+    if isinstance(value, URIRef):
+        return value
+    if isinstance(value, Graph):
+        return URIRef(str(value.identifier))
+    if isinstance(value, str):
+        return URIRef(value)
+    raise TypeError(f"invalid context: {value!r}")
+
+
+class _ContextState:
+    """Immutable per-context segment: frozen base + frozen overlay.
+
+    Invariants: ``adds`` is disjoint from ``base``; ``removes`` is a
+    subset of ``base``. A triple is visible iff it is in ``adds`` or in
+    ``base`` without being in ``removes``. ``size`` is the visible
+    count, maintained exactly by the engine.
+    """
+
+    __slots__ = ("base", "adds", "removes", "size")
+
+    def __init__(
+        self,
+        base: Graph,
+        adds: Graph,
+        removes: frozenset,
+        size: int,
+    ) -> None:
+        self.base = base
+        self.adds = adds
+        self.removes = removes
+        self.size = size
+
+    @property
+    def overlay(self) -> int:
+        return len(self.adds) + len(self.removes)
+
+
+class _State:
+    """One published store state; everything but ``stats`` is fixed.
+
+    ``stats`` starts ``None`` and is filled in at most once (lazily on
+    first use, or eagerly by incremental maintenance at commit) — an
+    idempotent publication, so no lock guards it.
+    """
+
+    __slots__ = ("generation", "contexts", "union_size", "stats")
+
+    def __init__(
+        self,
+        generation: int,
+        contexts: Dict[ContextKey, _ContextState],
+        union_size: int,
+        stats: Any = None,
+    ) -> None:
+        self.generation = generation
+        self.contexts = contexts
+        self.union_size = union_size
+        self.stats = stats
+
+
+def _context_visible(cs: _ContextState, triple: Triple) -> bool:
+    if triple in cs.adds:
+        return True
+    return triple in cs.base and triple not in cs.removes
+
+
+def _context_triples(
+    cs: _ContextState, pattern: TriplePattern
+) -> Iterator[Triple]:
+    if cs.removes:
+        for triple in cs.base.triples(pattern):
+            if triple not in cs.removes:
+                yield triple
+    else:
+        yield from cs.base.triples(pattern)
+    yield from cs.adds.triples(pattern)
+
+
+class SnapshotGraph(FrozenGraph):
+    """A read-only graph view pinned to one store generation.
+
+    Shares :class:`~repro.rdf.graph.Graph`'s read API (``triples``,
+    ``subjects``, ``value``, ``len`` …) but answers everything from the
+    pinned :class:`_State` — concurrent commits publish *new* states and
+    never touch this one. Mutation raises
+    :class:`~repro.rdf.graph.FrozenGraphError` (inherited).
+
+    Deliberately has no ``_version`` attribute and no lock: staleness
+    for cached statistics is keyed on :attr:`generation` (see
+    ``repro.analysis.stats``), and an immutable view needs no guard.
+    """
+
+    def __init__(
+        self,
+        store: "QuadStore",
+        state: _State,
+        scope: Union[_Union, ContextKey],
+    ) -> None:
+        # No Graph.__init__: a snapshot owns no indexes and must not
+        # carry the mutable-graph machinery (_spo/_lock/_version).
+        self._store = store
+        self._state = state
+        self._scope = scope
+        self.namespaces = store.namespaces
+        self.generation = state.generation
+        if scope is _UNION:
+            self.identifier = URIRef(
+                f"urn:store:{store.name}:union:g{state.generation}"
+            )
+            self._size = state.union_size
+        else:
+            self.identifier = (
+                scope if scope is not None else DEFAULT_GRAPH_IRI
+            )
+            cs = state.contexts.get(scope)
+            self._size = cs.size if cs is not None else 0
+
+    # -- pinned reads ---------------------------------------------------
+    def _scope_contexts(self) -> List[_ContextState]:
+        if self._scope is _UNION:
+            return list(self._state.contexts.values())
+        cs = self._state.contexts.get(self._scope)
+        return [cs] if cs is not None else []
+
+    def triples(
+        self, pattern: TriplePattern = (None, None, None)
+    ) -> Iterator[Triple]:
+        contexts = self._scope_contexts()
+        if len(contexts) == 1:
+            yield from _context_triples(contexts[0], pattern)
+            return
+        seen: Set[Triple] = set()
+        for cs in contexts:
+            for triple in _context_triples(cs, pattern):
+                if triple not in seen:
+                    seen.add(triple)
+                    yield triple
+
+    def _contains(self, s: Term, p: Term, o: Term) -> bool:
+        triple = (s, p, o)
+        return any(
+            _context_visible(cs, triple)
+            for cs in self._scope_contexts()
+        )
+
+    def resource_exists(self, subject: Term) -> bool:
+        for _ in self.triples((subject, None, None)):
+            return True
+        return False
+
+    def predicate_statistics(self) -> Dict[Term, Tuple[int, int, int]]:
+        contexts = self._scope_contexts()
+        if len(contexts) == 1 and contexts[0].overlay == 0:
+            # post-compaction fast path: one frozen base, index-backed
+            return contexts[0].base.predicate_statistics()
+        gathered: Dict[Term, Tuple[int, Set[Term], Set[Term]]] = {}
+        for s, p, o in self.triples():
+            entry = gathered.get(p)
+            if entry is None:
+                entry = (0, set(), set())
+            count, subjects, objects = entry
+            subjects.add(s)
+            objects.add(o)
+            gathered[p] = (count + 1, subjects, objects)
+        return {
+            p: (count, len(subjects), len(objects))
+            for p, (count, subjects, objects) in gathered.items()
+        }
+
+    # -- statistics cache, shared across snapshots of one state --------
+    @property
+    def _stats_cache(self):
+        if self._scope is _UNION:
+            return self._state.stats
+        return self.__dict__.get("_local_stats_cache")
+
+    @_stats_cache.setter
+    def _stats_cache(self, stats: Any) -> None:
+        if self._scope is _UNION:
+            # idempotent publication: every writer derived this from the
+            # same immutable state, so last-write-wins is safe
+            self._state.stats = stats
+        else:
+            self.__dict__["_local_stats_cache"] = stats
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotGraph({str(self.identifier)!r}, "
+            f"generation={self.generation}, triples={self._size})"
+        )
+
+
+class SnapshotDataset(Dataset):
+    """A read-only :class:`~repro.rdf.graph.Dataset` view pinned to one
+    store generation — the evaluator's ``GRAPH`` patterns and
+    ``union_graph()`` all answer from the same state."""
+
+    def __init__(self, store: "QuadStore", state: _State) -> None:
+        # No Dataset.__init__: members are pinned snapshot views.
+        self._store = store
+        self._state = state
+        self.generation = state.generation
+        self.default = SnapshotGraph(store, state, None)
+        self._named = {
+            key: SnapshotGraph(store, state, key)
+            for key in state.contexts
+            if key is not None
+        }
+
+    def graph(self, identifier: Any) -> Graph:
+        key = _as_context(identifier)
+        existing = self._named.get(key)
+        if existing is not None:
+            return existing
+        # read-only: unknown names resolve to an empty pinned view
+        # instead of creating a context in the store
+        return SnapshotGraph(self._store, self._state, key)
+
+    def remove_graph(self, identifier: Any) -> bool:
+        raise FrozenGraphError(
+            "remove_graph() on a generation-pinned dataset view; "
+            "write through the store instead"
+        )
+
+    def union_graph(self) -> Graph:
+        return SnapshotGraph(self._store, self._state, _UNION)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SnapshotDataset(store={self._store.name!r}, "
+            f"generation={self.generation})"
+        )
+
+
+class WriteBatch:
+    """An ordered list of quad ops applied atomically by ``commit``.
+
+    Terms are coerced on entry (same rules as ``Graph.add``); ops keep
+    their order, so add-then-remove of the same triple nets out."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self) -> None:
+        self.ops: List[BatchOp] = []
+
+    def _coerce(self, triple: Iterable[Any]) -> Triple:
+        s, p, o = triple
+        return (
+            Graph._as_node(s),
+            Graph._as_predicate(p),
+            term_from_python(o),
+        )
+
+    def insert(
+        self, triple: Iterable[Any], context: Any = None
+    ) -> "WriteBatch":
+        self.ops.append(
+            (OP_ADD, self._coerce(triple), _as_context(context))
+        )
+        return self
+
+    def remove(
+        self, triple: Iterable[Any], context: Any = None
+    ) -> "WriteBatch":
+        self.ops.append(
+            (OP_REMOVE, self._coerce(triple), _as_context(context))
+        )
+        return self
+
+    def add_all(
+        self, triples: Iterable[Iterable[Any]], context: Any = None
+    ) -> "WriteBatch":
+        key = _as_context(context)
+        for triple in triples:
+            self.ops.append((OP_ADD, self._coerce(triple), key))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class _Working:
+    """Mutable scratch copy of one context during a commit."""
+
+    __slots__ = ("base", "adds", "removes", "size")
+
+    def __init__(self, cs: Optional[_ContextState], key: ContextKey,
+                 namespaces: NamespaceManager) -> None:
+        if cs is None:
+            identifier = key if key is not None else DEFAULT_GRAPH_IRI
+            self.base: Graph = freeze(Graph(identifier, namespaces))
+            self.adds = Graph(identifier, namespaces)
+            self.removes: Set[Triple] = set()
+            self.size = 0
+        else:
+            self.base = cs.base
+            self.adds = cs.adds.copy()
+            self.removes = set(cs.removes)
+            self.size = cs.size
+
+    def visible(self, triple: Triple) -> bool:
+        if triple in self.adds:
+            return True
+        return triple in self.base and triple not in self.removes
+
+
+class QuadStore:
+    """The pluggable MVCC storage engine (see module docstring).
+
+    Parameters
+    ----------
+    directory:
+        Where the WAL and snapshot files live; ``None`` keeps the store
+        purely in memory (no durability, same MVCC semantics). Opening
+        a directory *is* recovery: newest readable snapshot + WAL tail,
+        with any torn tail truncated away (see :attr:`recovery`).
+    sync:
+        ``fsync`` every WAL record before acknowledging the commit.
+    overlay_limit:
+        Fold a context's overlay into a fresh base once it exceeds this
+        many ops (in-memory compaction; no file IO).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        *,
+        name: Optional[str] = None,
+        sync: bool = False,
+        overlay_limit: int = 1024,
+        namespaces: Optional[NamespaceManager] = None,
+    ) -> None:
+        self.namespaces = namespaces or NamespaceManager()
+        self.directory = (
+            Path(directory) if directory is not None else None
+        )
+        self.name = name or (
+            self.directory.name if self.directory is not None
+            else "ephemeral"
+        )
+        self.overlay_limit = overlay_limit
+        self._commit_lock = threading.Lock()
+        self._wal: Optional[WriteAheadLog] = None
+        self.recovery: Optional[RecoveryReport] = None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._state = self._bootstrap()
+            self._wal = WriteAheadLog(
+                self.directory / WAL_FILENAME, sync=sync
+            )
+            _observe_recovery(self)
+        else:
+            self._state = _State(0, {}, 0, None)
+        _observe_generation(self)
+
+    # -- recovery -------------------------------------------------------
+    def _bootstrap(self) -> _State:
+        """Load newest readable snapshot, replay the WAL tail, repair."""
+        report = RecoveryReport(directory=str(self.directory))
+        bases: Dict[ContextKey, Graph] = {}
+        for generation, path in reversed(snapshot_files(self.directory)):
+            try:
+                bases, count = load_snapshot(path, self.namespaces)
+            except (ValueError, OSError) as exc:
+                report.snapshot_errors.append(f"{path.name}: {exc}")
+                continue
+            report.snapshot_path = str(path)
+            report.snapshot_generation = generation
+            report.snapshot_quads = count
+            break
+        wal_path = self.directory / WAL_FILENAME
+        scan = scan_wal(wal_path)
+        generation = report.snapshot_generation
+        for batch in scan.batches:
+            if batch.generation <= report.snapshot_generation:
+                continue  # already folded into the snapshot
+            self._replay_batch(bases, batch.ops)
+            report.ops_replayed += len(batch.ops)
+            report.batches_replayed += 1
+            generation = batch.generation
+        if scan.torn_bytes:
+            report.torn_bytes = scan.torn_bytes
+            report.torn_reason = scan.torn_reason
+            truncate_wal(wal_path, scan.valid_bytes)
+        report.generation = generation
+        self.recovery = report
+        return _publish_bases(bases, generation)
+
+    def _replay_batch(
+        self, bases: Dict[ContextKey, Graph], ops: Sequence[Tuple[str, Quad]]
+    ) -> None:
+        for op, (s, p, o, key) in ops:
+            graph = bases.get(key)
+            if graph is None:
+                identifier = key if key is not None else DEFAULT_GRAPH_IRI
+                graph = Graph(identifier, self.namespaces)
+                bases[key] = graph
+            if op == OP_ADD:
+                graph.insert((s, p, o))
+            else:
+                graph.remove((s, p, o))
+
+    # -- pinned read views ----------------------------------------------
+    @property
+    def generation(self) -> int:
+        # single atomic reference read — the MVCC publication point;
+        # commits swap self._state, they never mutate a published state
+        return self._state.generation  # cc: allow=CC001
+
+    def head(self) -> SnapshotGraph:
+        """The current union view, pinned: later commits never affect it."""
+        return SnapshotGraph(self, self._state, _UNION)  # cc: allow=CC001
+
+    def graph(self, context: Any = None) -> SnapshotGraph:
+        """A pinned view of one context (``None`` = default context)."""
+        state = self._state  # cc: allow=CC001 (atomic reference read)
+        return SnapshotGraph(self, state, _as_context(context))
+
+    def dataset_snapshot(self) -> SnapshotDataset:
+        """A pinned Dataset view (default + named graphs + union)."""
+        return SnapshotDataset(self, self._state)  # cc: allow=CC001
+
+    def contexts(self) -> List[ContextKey]:
+        return sorted(
+            self._state.contexts,  # cc: allow=CC001
+            key=lambda key: "" if key is None else str(key),
+        )
+
+    def quads(self) -> Iterator[Quad]:
+        """Every quad of the pinned current state, context by context."""
+        state = self._state  # cc: allow=CC001 (atomic reference read)
+        for key in sorted(
+            state.contexts, key=lambda k: "" if k is None else str(k)
+        ):
+            cs = state.contexts[key]
+            for s, p, o in _context_triples(cs, (None, None, None)):
+                yield (s, p, o, key)
+
+    def to_nquads(self) -> str:
+        """Canonical N-Quads text of the current state (sorted lines).
+
+        Byte-identical for equal contents — the recovery tests compare
+        this against the pre-crash dump."""
+        lines = sorted(serialize_quad(quad) for quad in self.quads())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @property
+    def size(self) -> int:
+        """Total quads across contexts (union view may be smaller)."""
+        state = self._state  # cc: allow=CC001 (atomic reference read)
+        return sum(cs.size for cs in state.contexts.values())
+
+    # -- writes ---------------------------------------------------------
+    def batch(self) -> WriteBatch:
+        return WriteBatch()
+
+    def commit(self, batch: Union[WriteBatch, Iterable[BatchOp]]) -> int:
+        """Apply a batch atomically; returns the resulting generation.
+
+        A batch with no effect (all ops already satisfied) does not
+        bump the generation and writes nothing to the WAL."""
+        generation, _ = self.apply(
+            batch.ops if isinstance(batch, WriteBatch) else list(batch)
+        )
+        return generation
+
+    def apply(self, ops: Sequence[BatchOp]) -> Tuple[int, int]:
+        """Like :meth:`commit` but also returns the effective op count."""
+        if not ops:
+            return self._state.generation, 0  # cc: allow=CC001
+        with self._commit_lock:
+            return self._apply_locked(ops)
+
+    def insert(self, triple: Iterable[Any], context: Any = None) -> bool:
+        """Add one quad; True when it was not already visible there."""
+        batch = WriteBatch().insert(triple, context)
+        _, effective = self.apply(batch.ops)
+        return effective > 0
+
+    def remove(
+        self, pattern: TriplePattern, context: Any = None
+    ) -> int:
+        """Remove triples matching ``pattern`` in one context."""
+        key = _as_context(context)
+        with self._commit_lock:
+            view = SnapshotGraph(self, self._state, key)
+            matches = list(view.triples(pattern))
+            if not matches:
+                return 0
+            ops: List[BatchOp] = [
+                (OP_REMOVE, triple, key) for triple in matches
+            ]
+            self._apply_locked(ops)
+        return len(matches)
+
+    def _apply_locked(self, ops: Sequence[BatchOp]) -> Tuple[int, int]:
+        # callers hold self._commit_lock (the analyzer cannot see the
+        # cross-function acquire)
+        state = self._state  # cc: allow=CC001
+        outcome = self._advance(state, ops, state.generation + 1)
+        if outcome is None:
+            return state.generation, 0
+        new_state, effective, union_added, union_removed, folded = outcome
+        wal_bytes = 0
+        if self._wal is not None:
+            wal_bytes = self._wal.append(new_state.generation, effective)
+        _maintain_stats(state, new_state, union_added, union_removed)
+        self._state = new_state  # cc: allow=CC001 (commit lock held)
+        _observe_commit(self, len(effective), wal_bytes, folded)
+        return new_state.generation, len(effective)
+
+    def _advance(
+        self,
+        state: _State,
+        ops: Sequence[BatchOp],
+        generation: int,
+    ) -> Optional[
+        Tuple[_State, List[Tuple[str, Quad]], List[Triple], List[Triple], int]
+    ]:
+        """Pure derivation of the next state; ``None`` when no-op."""
+        touched: Dict[ContextKey, _Working] = {}
+
+        def working(key: ContextKey) -> _Working:
+            scratch = touched.get(key)
+            if scratch is None:
+                scratch = _Working(
+                    state.contexts.get(key), key, self.namespaces
+                )
+                touched[key] = scratch
+            return scratch
+
+        def ctx_visible(key: ContextKey, triple: Triple) -> bool:
+            scratch = touched.get(key)
+            if scratch is not None:
+                return scratch.visible(triple)
+            cs = state.contexts.get(key)
+            return cs is not None and _context_visible(cs, triple)
+
+        def union_visible(triple: Triple) -> bool:
+            keys = set(state.contexts)
+            keys.update(touched)
+            return any(ctx_visible(key, triple) for key in keys)
+
+        effective: List[Tuple[str, Quad]] = []
+        union_added: List[Triple] = []
+        union_removed: List[Triple] = []
+        union_delta = 0
+        for op, triple, key in ops:
+            if op == OP_ADD:
+                if ctx_visible(key, triple):
+                    continue
+                seen_before = union_visible(triple)
+                scratch = working(key)
+                if triple in scratch.removes:
+                    scratch.removes.discard(triple)
+                else:
+                    scratch.adds.insert(triple)
+                scratch.size += 1
+                effective.append((op, triple + (key,)))
+                if not seen_before:
+                    union_added.append(triple)
+                    union_delta += 1
+            elif op == OP_REMOVE:
+                if not ctx_visible(key, triple):
+                    continue
+                scratch = working(key)
+                if triple in scratch.adds:
+                    scratch.adds.remove(triple)
+                else:
+                    scratch.removes.add(triple)
+                scratch.size -= 1
+                effective.append((op, triple + (key,)))
+                if not union_visible(triple):
+                    union_removed.append(triple)
+                    union_delta -= 1
+            else:  # pragma: no cover - WriteBatch only emits +/-
+                raise StoreError(f"unknown op {op!r}")
+        if not effective:
+            return None
+
+        contexts = dict(state.contexts)
+        folded = 0
+        for key, scratch in touched.items():
+            if scratch.size <= 0:
+                contexts.pop(key, None)
+                continue
+            if len(scratch.adds) + len(scratch.removes) > self.overlay_limit:
+                contexts[key] = _fold_context(
+                    scratch, key, self.namespaces
+                )
+                folded += 1
+            else:
+                contexts[key] = _ContextState(
+                    scratch.base,
+                    freeze(scratch.adds),
+                    frozenset(scratch.removes),
+                    scratch.size,
+                )
+        new_state = _State(
+            generation, contexts, state.union_size + union_delta, None
+        )
+        return new_state, effective, union_added, union_removed, folded
+
+    # -- durability operations ------------------------------------------
+    def checkpoint(self) -> Path:
+        """Write a snapshot of the head and reset the WAL.
+
+        Commits are blocked for the duration so no committed batch can
+        fall between the snapshot and the log reset; the snapshot write
+        is atomic (tmp + fsync + rename), and the WAL is only reset
+        *after* the snapshot is safely in place."""
+        if self.directory is None or self._wal is None:
+            raise StoreError(
+                "checkpoint() requires a durable store (directory=...)"
+            )
+        with self._commit_lock:
+            state = self._state
+            lines = [
+                serialize_quad((s, p, o, key))
+                for key, cs in state.contexts.items()
+                for s, p, o in _context_triples(cs, (None, None, None))
+            ]
+            # File IO under the commit lock is deliberate — see the
+            # docstring; writers are paused, readers are unaffected.
+            path = write_snapshot(
+                self.directory, state.generation, lines
+            )
+            # bounded file op on our own WAL handle; commits must
+            # stay blocked until the log matching the snapshot is empty
+            self._wal.reset()  # cc: allow=CC003
+        _observe_checkpoint(self)
+        return path
+
+    def compact(self) -> dict:
+        """Fold all overlays, checkpoint, and prune old snapshots.
+
+        Returns a summary dict (folded contexts, pruned files, the
+        snapshot written). In-memory stores fold overlays only."""
+        folded = 0
+        with self._commit_lock:
+            state = self._state
+            contexts: Dict[ContextKey, _ContextState] = {}
+            for key, cs in state.contexts.items():
+                if cs.overlay == 0:
+                    contexts[key] = cs
+                    continue
+                scratch = _Working(cs, key, self.namespaces)
+                contexts[key] = _fold_context(
+                    scratch, key, self.namespaces
+                )
+                folded += 1
+            # same generation, same content — readers are unaffected
+            self._state = _State(
+                state.generation, contexts, state.union_size, state.stats
+            )
+        summary = {
+            "store": self.name,
+            "generation": self.generation,
+            "folded_contexts": folded,
+            "snapshot": None,
+            "pruned": [],
+        }
+        if self.directory is not None:
+            path = self.checkpoint()
+            summary["snapshot"] = str(path)
+            summary["pruned"] = [
+                str(p)
+                for p in prune_snapshots(self.directory, self.generation)
+            ]
+        if folded:
+            _observe_fold(self, folded)
+        return summary
+
+    # -- statistics ------------------------------------------------------
+    def statistics(self):
+        """Planner statistics for the current head, generation-cached."""
+        from ..analysis.stats import GraphStatistics
+
+        return GraphStatistics.cached(self.head())
+
+    # -- dataset interop -------------------------------------------------
+    def sync_dataset(self, dataset: Dataset) -> int:
+        """Commit the delta that makes this store equal ``dataset``.
+
+        One generation for the whole reconciliation; unchanged quads
+        cost nothing. Returns the resulting generation."""
+        desired: Dict[ContextKey, Set[Triple]] = {
+            None: set(dataset.default.triples())
+        }
+        for graph in dataset.graphs():
+            key = _as_context(graph.identifier)
+            desired[key] = set(graph.triples())
+        batch = WriteBatch()
+        state = self._state  # cc: allow=CC001 (atomic reference read)
+        for key, cs in state.contexts.items():
+            want = desired.get(key, set())
+            for triple in _context_triples(cs, (None, None, None)):
+                if triple not in want:
+                    batch.ops.append((OP_REMOVE, triple, key))
+        for key, want in desired.items():
+            cs = state.contexts.get(key)
+            for triple in sorted(want):
+                if cs is None or not _context_visible(cs, triple):
+                    batch.ops.append((OP_ADD, triple, key))
+        return self.commit(batch)
+
+    # -- admin -----------------------------------------------------------
+    def info(self) -> dict:
+        state = self._state  # cc: allow=CC001 (atomic reference read)
+        overlay = sum(cs.overlay for cs in state.contexts.values())
+        data = {
+            "name": self.name,
+            "directory": (
+                str(self.directory) if self.directory is not None else None
+            ),
+            "generation": state.generation,
+            "quads": sum(cs.size for cs in state.contexts.values()),
+            "union_triples": state.union_size,
+            "contexts": {
+                (str(key) if key is not None else "default"): cs.size
+                for key, cs in state.contexts.items()
+            },
+            "overlay_ops": overlay,
+            "overlay_limit": self.overlay_limit,
+            "statistics_cached": state.stats is not None,
+        }
+        if self.directory is not None and self._wal is not None:
+            data["wal"] = {
+                "path": str(self._wal.path),
+                "bytes": self._wal.size(),
+                "records_this_session": self._wal.records,
+                "sync": self._wal.sync,
+            }
+            data["snapshots"] = [
+                {"generation": generation, "path": str(path),
+                 "bytes": path.stat().st_size}
+                for generation, path in snapshot_files(self.directory)
+            ]
+        if self.recovery is not None:
+            data["recovery"] = self.recovery.as_dict()
+        return data
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+
+    def __enter__(self) -> "QuadStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"QuadStore({self.name!r}, generation={self.generation}, "
+            f"quads={self.size})"
+        )
+
+
+def is_quad_store(obj: Any) -> bool:
+    """Duck-typed check used by consumers that must not import this
+    package eagerly (the evaluator — see the import-cycle note there)."""
+    return (
+        hasattr(obj, "head")
+        and hasattr(obj, "commit")
+        and hasattr(obj, "dataset_snapshot")
+    )
+
+
+# ---------------------------------------------------------------------
+# state construction helpers (kept free of len()+write straddles so the
+# effects analyzer can see reads and writes in separate functions)
+# ---------------------------------------------------------------------
+def _fold_context(
+    scratch: _Working, key: ContextKey, namespaces: NamespaceManager
+) -> _ContextState:
+    """Materialize base+overlay into a fresh base with an empty overlay."""
+    identifier = key if key is not None else DEFAULT_GRAPH_IRI
+    fresh = Graph(identifier, namespaces)
+    visible = [
+        triple
+        for triple in scratch.base.triples()
+        if triple not in scratch.removes
+    ]
+    fresh.add_all(visible)
+    fresh.add_all(list(scratch.adds.triples()))
+    return _ContextState(
+        freeze(fresh),
+        Graph(identifier, namespaces),
+        frozenset(),
+        scratch.size,
+    )
+
+
+def _publish_bases(
+    bases: Dict[ContextKey, Graph], generation: int
+) -> _State:
+    """Freeze freshly built base graphs into a published state."""
+    contexts: Dict[ContextKey, _ContextState] = {}
+    for key, graph in bases.items():
+        size = len(graph)
+        if size == 0:
+            continue
+        contexts[key] = _ContextState(
+            freeze(graph),
+            Graph(graph.identifier, graph.namespaces),
+            frozenset(),
+            size,
+        )
+    if len(contexts) <= 1:
+        union_size = sum(cs.size for cs in contexts.values())
+    else:
+        union: Set[Triple] = set()
+        for cs in contexts.values():
+            union.update(cs.base.triples())
+        union_size = len(union)
+    return _State(generation, contexts, union_size, None)
+
+
+def _maintain_stats(
+    old: _State,
+    new: _State,
+    union_added: List[Triple],
+    union_removed: List[Triple],
+) -> None:
+    """Carry planner statistics across a commit incrementally."""
+    stats = old.stats
+    if stats is None or stats.fingerprint != old.generation:
+        return  # nothing cached (or stale): rebuilt lazily on demand
+    before = _StateView(old)
+    after = _StateView(new)
+    new.stats = stats.apply_delta(
+        union_added,
+        union_removed,
+        before,
+        after,
+        fingerprint=new.generation,
+    )
+
+
+class _StateView:
+    """Minimal union-membership probe over a state (for stats deltas)."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: _State) -> None:
+        self._state = state
+
+    def __contains__(self, triple: Triple) -> bool:
+        return any(
+            _context_visible(cs, triple)
+            for cs in self._state.contexts.values()
+        )
+
+    def triples(
+        self, pattern: TriplePattern = (None, None, None)
+    ) -> Iterator[Triple]:
+        contexts = list(self._state.contexts.values())
+        if len(contexts) == 1:
+            yield from _context_triples(contexts[0], pattern)
+            return
+        seen: Set[Triple] = set()
+        for cs in contexts:
+            for triple in _context_triples(cs, pattern):
+                if triple not in seen:
+                    seen.add(triple)
+                    yield triple
+
+
+# ---------------------------------------------------------------------
+# metrics (emitted outside the commit lock)
+# ---------------------------------------------------------------------
+def _observe_generation(store: QuadStore) -> None:
+    get_registry().gauge(
+        "repro_store_generation",
+        "Current generation of each quad store",
+    ).labels(store=store.name).set(store.generation)
+
+
+def _observe_commit(
+    store: QuadStore, ops: int, wal_bytes: int, folded: int
+) -> None:
+    registry = get_registry()
+    labels = {"store": store.name}
+    registry.counter(
+        "repro_store_commits_total",
+        "Committed write batches per store",
+    ).labels(**labels).inc()
+    registry.counter(
+        "repro_store_committed_ops_total",
+        "Effective quad ops committed per store",
+    ).labels(**labels).inc(ops)
+    if wal_bytes:
+        registry.counter(
+            "repro_store_wal_records_total",
+            "WAL records appended per store",
+        ).labels(**labels).inc()
+        registry.counter(
+            "repro_store_wal_bytes_total",
+            "WAL bytes appended per store",
+        ).labels(**labels).inc(wal_bytes)
+    if folded:
+        _observe_fold(store, folded)
+    _observe_generation(store)
+
+
+def _observe_fold(store: QuadStore, folded: int) -> None:
+    get_registry().counter(
+        "repro_store_compactions_total",
+        "Context overlays folded into fresh bases per store",
+    ).labels(store=store.name).inc(folded)
+
+
+def _observe_checkpoint(store: QuadStore) -> None:
+    get_registry().counter(
+        "repro_store_checkpoints_total",
+        "Snapshot checkpoints written per store",
+    ).labels(store=store.name).inc()
+
+
+def _observe_recovery(store: QuadStore) -> None:
+    report = store.recovery
+    if report is None:
+        return
+    registry = get_registry()
+    labels = {"store": store.name}
+    registry.counter(
+        "repro_store_recoveries_total",
+        "Store opens that replayed durable state",
+    ).labels(**labels).inc()
+    if report.torn_bytes:
+        registry.counter(
+            "repro_store_torn_bytes_total",
+            "WAL bytes discarded as torn tails during recovery",
+        ).labels(**labels).inc(report.torn_bytes)
+    registry.counter(
+        "repro_store_replayed_ops_total",
+        "WAL ops replayed during recovery",
+    ).labels(**labels).inc(report.ops_replayed)

@@ -1,0 +1,235 @@
+"""Mutable :class:`~repro.rdf.graph.Graph` facade over one store context.
+
+Concurrency: single-writer
+Graph-writes: the backing quad-store, via generation-stamped commits
+
+:class:`StoreGraph` lets everything written against the ``Graph`` API —
+``BatchAnnotator``, the D2R loader, tests — run unchanged on top of a
+:class:`~repro.store.engine.QuadStore`. Reads answer from the store's
+*current* head (plus any locally buffered ops); writes become store
+commits:
+
+* **autocommit** (default): every mutation is one committed generation,
+  matching ``Graph``'s immediate-visibility semantics;
+* **buffered** (``buffered=True``): mutations accumulate locally and
+  :meth:`flush` commits them as one generation-stamped batch — this is
+  what ``BatchAnnotator`` drives at its checkpoint watermark, so one
+  annotation batch becomes one WAL record and one MVCC generation.
+
+The buffer is guarded by the facade's own ``_lock`` (reentrant, like
+``Graph``'s); the store serializes actual commits on its commit lock.
+Reads are *live* (each call re-pins the head) — pin
+:meth:`QuadStore.head` directly when generation-stable iteration is
+required.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..rdf.graph import Graph, Triple, TriplePattern
+from ..rdf.namespace import NamespaceManager
+from ..rdf.terms import Term, term_from_python
+from .engine import BatchOp, ContextKey, QuadStore, _as_context
+from .persistence import DEFAULT_GRAPH_IRI
+from .wal import OP_ADD, OP_REMOVE
+
+__all__ = ["StoreGraph"]
+
+
+def _matches(pattern: TriplePattern, triple: Triple) -> bool:
+    return all(
+        want is None or want == have
+        for want, have in zip(pattern, triple)
+    )
+
+
+class StoreGraph(Graph):
+    """A live, writable view of one quad-store context."""
+
+    def __init__(
+        self,
+        store: QuadStore,
+        context: Any = None,
+        *,
+        buffered: bool = False,
+    ) -> None:
+        # No Graph.__init__: the facade owns no indexes; ``_size`` and
+        # ``_version`` are derived properties instead of counters.
+        self.store = store
+        self.context: ContextKey = _as_context(context)
+        self.identifier = (
+            self.context if self.context is not None else DEFAULT_GRAPH_IRI
+        )
+        self.namespaces = store.namespaces
+        self.buffered = buffered
+        #: last buffered op per triple (insertion-ordered, so flush
+        #: preserves op order; one entry per triple keeps it small)
+        self._pending: Dict[Triple, str] = {}
+        self._lock = threading.RLock()
+
+    # -- derived Graph attributes ---------------------------------------
+    @property
+    def _size(self) -> int:  # type: ignore[override]
+        view = self.store.graph(self.context)
+        size = len(view)
+        with self._lock:
+            for triple, op in self._pending.items():
+                visible = view._contains(*triple)
+                if op == OP_ADD and not visible:
+                    size += 1
+                elif op == OP_REMOVE and visible:
+                    size -= 1
+        return size
+
+    @property
+    def _version(self):  # type: ignore[override]
+        """Staleness key for cached statistics: (generation, buffer)."""
+        with self._lock:
+            return (self.store.generation, len(self._pending))
+
+    # -- mutation -------------------------------------------------------
+    def insert(self, triple: Iterable[Any]) -> bool:
+        s, p, o = triple
+        concrete = (
+            self._as_node(s),
+            self._as_predicate(p),
+            term_from_python(o),
+        )
+        if not self.buffered:
+            _, effective = self.store.apply(
+                [(OP_ADD, concrete, self.context)]
+            )
+            return effective > 0
+        with self._lock:
+            if self._visible(concrete):
+                return False
+            self._push(OP_ADD, concrete)
+        return True
+
+    def add(self, triple: Iterable[Any]) -> "Graph":
+        self.insert(triple)
+        return self
+
+    def add_all(self, triples: Iterable[Iterable[Any]]) -> "Graph":
+        if not self.buffered:
+            batch = self.store.batch().add_all(triples, self.context)
+            self.store.apply(batch.ops)
+            return self
+        with self._lock:
+            for triple in triples:
+                self.insert(triple)
+        return self
+
+    def remove(self, pattern: TriplePattern) -> int:
+        matches = list(self.triples(pattern))
+        if not matches:
+            return 0
+        if not self.buffered:
+            ops: List[BatchOp] = [
+                (OP_REMOVE, triple, self.context) for triple in matches
+            ]
+            self.store.apply(ops)
+            return len(matches)
+        with self._lock:
+            for triple in matches:
+                self._push(OP_REMOVE, triple)
+        return len(matches)
+
+    def clear(self) -> None:
+        self.remove((None, None, None))
+
+    def _push(self, op: str, triple: Triple) -> None:
+        # last op per triple wins; re-inserting keeps flush order
+        # stable (the lock is reentrant: callers already hold it)
+        with self._lock:
+            self._pending.pop(triple, None)
+            self._pending[triple] = op
+
+    def flush(self) -> int:
+        """Commit buffered ops as one generation; returns it."""
+        with self._lock:
+            ops: List[BatchOp] = [
+                (op, triple, self.context)
+                for triple, op in self._pending.items()
+            ]
+            self._pending.clear()
+        if not ops:
+            return self.store.generation
+        generation, _ = self.store.apply(ops)
+        return generation
+
+    @property
+    def pending_ops(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # -- reads ----------------------------------------------------------
+    def _visible(self, triple: Triple) -> bool:
+        op = self._pending.get(triple)
+        if op is not None:
+            return op == OP_ADD
+        view = self.store.graph(self.context)
+        return view._contains(*triple)
+
+    def _contains(self, s: Term, p: Term, o: Term) -> bool:
+        with self._lock:
+            return self._visible((s, p, o))
+
+    def triples(
+        self, pattern: TriplePattern = (None, None, None)
+    ) -> Iterator[Triple]:
+        view = self.store.graph(self.context)
+        with self._lock:
+            pending = dict(self._pending) if self._pending else None
+        if pending is None:
+            yield from view.triples(pattern)
+            return
+        for triple in view.triples(pattern):
+            if pending.get(triple) != OP_REMOVE:
+                yield triple
+        for triple, op in pending.items():
+            if (
+                op == OP_ADD
+                and _matches(pattern, triple)
+                and not view._contains(*triple)
+            ):
+                yield triple
+
+    def predicate_statistics(self) -> Dict[Term, Tuple[int, int, int]]:
+        with self._lock:
+            buffered = bool(self._pending)
+        if not buffered:
+            return self.store.graph(self.context).predicate_statistics()
+        gathered: Dict[Term, Tuple[int, set, set]] = {}
+        for s, p, o in self.triples():
+            entry = gathered.get(p)
+            if entry is None:
+                entry = (0, set(), set())
+            count, subjects, objects = entry
+            subjects.add(s)
+            objects.add(o)
+            gathered[p] = (count + 1, subjects, objects)
+        return {
+            p: (count, len(subjects), len(objects))
+            for p, (count, subjects, objects) in gathered.items()
+        }
+
+    def resource_exists(self, subject: Term) -> bool:
+        for _ in self.triples((subject, None, None)):
+            return True
+        return False
+
+    def copy(self) -> "Graph":
+        g = Graph(self.identifier, self.namespaces)
+        g.add_all(self.triples())
+        return g
+
+    def __repr__(self) -> str:
+        mode = "buffered" if self.buffered else "autocommit"
+        return (
+            f"StoreGraph({str(self.identifier)!r}, store="
+            f"{self.store.name!r}, mode={mode}, "
+            f"pending={self.pending_ops})"
+        )

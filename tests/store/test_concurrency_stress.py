@@ -1,0 +1,135 @@
+"""Concurrent reader/writer equivalence under MVCC.
+
+Readers pin snapshots while a writer commits multi-op batches. The
+invariant under test is batch atomicity: every pinned view contains
+each batch either completely or not at all, and generations observed
+by any single reader never go backwards. Runs under ``REPRO_SANITIZE=1``
+like the rest of the suite — snapshots are immutable, so the store
+sanitizer's mutation-during-iteration tripwire must stay silent.
+"""
+
+import threading
+
+from repro.rdf.terms import Literal, URIRef
+from repro.store import QuadStore, StoreGraph
+
+EX = "http://example.org/"
+BATCHES = 30
+PER_BATCH = 5
+
+
+def _batch_triples(b):
+    return [
+        (URIRef(f"{EX}s{b}_{j}"), URIRef(EX + "p"), Literal(str(b)))
+        for j in range(PER_BATCH)
+    ]
+
+
+class TestReaderWriterEquivalence:
+    def test_readers_only_see_whole_batches(self):
+        store = QuadStore()
+        errors = []
+        done = threading.Event()
+
+        def writer():
+            for b in range(BATCHES):
+                batch = store.batch()
+                for triple in _batch_triples(b):
+                    batch.insert(triple)
+                store.commit(batch)
+            done.set()
+
+        def reader():
+            last_generation = 0
+            while not done.is_set() or last_generation < BATCHES:
+                view = store.head()
+                if view.generation < last_generation:
+                    errors.append(
+                        f"generation went backwards: "
+                        f"{last_generation} -> {view.generation}"
+                    )
+                    return
+                last_generation = view.generation
+                counts = {}
+                for s, p, o in view.triples(
+                    (None, URIRef(EX + "p"), None)
+                ):
+                    counts[o.lexical] = counts.get(o.lexical, 0) + 1
+                for b, count in counts.items():
+                    if count != PER_BATCH:
+                        errors.append(
+                            f"partial batch {b} visible at generation "
+                            f"{view.generation}: {count}/{PER_BATCH}"
+                        )
+                        return
+                if len(counts) != view.generation:
+                    errors.append(
+                        f"generation {view.generation} shows "
+                        f"{len(counts)} batches"
+                    )
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:3]
+        # the final state is the full catalog, exactly once each
+        assert store.generation == BATCHES
+        assert store.size == BATCHES * PER_BATCH
+
+    def test_concurrent_run_equals_sequential_run(self):
+        """Order of interleaved commits from two writers may vary, but
+        the final content must equal the sequential union (all batches
+        are disjoint)."""
+        concurrent = QuadStore()
+        threads = [
+            threading.Thread(target=lambda lo=lo: [
+                concurrent.commit(
+                    concurrent.batch().add_all(_batch_triples(b))
+                )
+                for b in range(lo, BATCHES, 2)
+            ])
+            for lo in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        sequential = QuadStore()
+        for b in range(BATCHES):
+            sequential.commit(
+                sequential.batch().add_all(_batch_triples(b))
+            )
+        assert concurrent.to_nquads() == sequential.to_nquads()
+        assert concurrent.generation == sequential.generation
+
+    def test_buffered_facades_flush_race_free(self):
+        """Two buffered facades over different contexts flush
+        concurrently; each flush is one atomic generation."""
+        store = QuadStore()
+        contexts = [URIRef(f"{EX}g{i}") for i in range(2)]
+
+        def work(context, lo):
+            graph = StoreGraph(store, context=context, buffered=True)
+            for b in range(lo, BATCHES, 2):
+                for triple in _batch_triples(b):
+                    graph.insert(triple)
+                graph.flush()
+
+        threads = [
+            threading.Thread(target=work, args=(ctx, lo))
+            for lo, ctx in enumerate(contexts)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for lo, context in enumerate(contexts):
+            expected = sum(
+                len(_batch_triples(b)) for b in range(lo, BATCHES, 2)
+            )
+            assert len(store.graph(context)) == expected

@@ -1,0 +1,237 @@
+"""MVCC engine semantics: generations, snapshot isolation, overlays."""
+
+import pytest
+
+from repro.rdf import RDF, URIRef
+from repro.rdf.graph import Dataset, FrozenGraphError, Graph
+from repro.rdf.terms import Literal
+from repro.store import QuadStore, StoreError, is_quad_store
+
+EX = "http://example.org/"
+
+
+def _triple(i, o="x"):
+    return (URIRef(f"{EX}s{i}"), URIRef(EX + "p"), Literal(o))
+
+
+class TestCommits:
+    def test_insert_bumps_generation(self):
+        store = QuadStore()
+        assert store.generation == 0
+        assert store.insert(_triple(1))
+        assert store.generation == 1
+        assert store.size == 1
+
+    def test_duplicate_insert_is_a_noop_commit(self):
+        store = QuadStore()
+        store.insert(_triple(1))
+        assert not store.insert(_triple(1))
+        # no effective ops → no generation bump
+        assert store.generation == 1
+
+    def test_batch_commits_atomically_as_one_generation(self):
+        store = QuadStore()
+        batch = store.batch()
+        for i in range(5):
+            batch.insert(_triple(i))
+        generation = store.commit(batch)
+        assert generation == 1
+        assert store.size == 5
+
+    def test_add_then_remove_in_one_batch_nets_out(self):
+        store = QuadStore()
+        batch = store.batch().insert(_triple(1)).remove(_triple(1))
+        store.commit(batch)
+        assert store.size == 0
+        assert not store.head()._contains(*_triple(1))
+
+    def test_remove_expands_pattern(self):
+        store = QuadStore()
+        for i in range(4):
+            store.insert(_triple(i))
+        removed = store.remove((None, URIRef(EX + "p"), None))
+        assert removed == 4
+        assert store.size == 0
+
+    def test_empty_ops_keep_generation(self):
+        store = QuadStore()
+        store.insert(_triple(1))
+        generation, effective = store.apply([])
+        assert (generation, effective) == (1, 0)
+        assert store.generation == 1
+
+
+class TestSnapshotIsolation:
+    def test_pinned_head_never_sees_later_commits(self):
+        """The tentpole invariant: a reader's pinned generation is
+        immutable — concurrent commits publish *new* states."""
+        store = QuadStore()
+        store.insert(_triple(1))
+        pinned = store.head()
+        assert pinned.generation == 1
+        assert len(pinned) == 1
+
+        store.insert(_triple(2))
+        store.remove((None, None, None))
+        assert store.size == 0
+
+        # the pinned snapshot is byte-for-byte what generation 1 held
+        assert pinned.generation == 1
+        assert len(pinned) == 1
+        assert pinned._contains(*_triple(1))
+        assert not pinned._contains(*_triple(2))
+
+    def test_snapshots_are_frozen(self):
+        store = QuadStore()
+        store.insert(_triple(1))
+        pinned = store.head()
+        with pytest.raises(FrozenGraphError):
+            pinned.add(_triple(2))
+        with pytest.raises(FrozenGraphError):
+            pinned.remove((None, None, None))
+
+    def test_dataset_snapshot_pins_named_graphs(self):
+        store = QuadStore()
+        g1 = URIRef(EX + "g1")
+        store.insert(_triple(1))
+        store.insert(_triple(2), context=g1)
+        snapshot = store.dataset_snapshot()
+        assert isinstance(snapshot, Dataset)
+        assert len(snapshot.default) == 1
+        assert len(snapshot.graph(g1)) == 1
+        # later writes are invisible to the pinned dataset
+        store.insert(_triple(3), context=g1)
+        assert len(snapshot.graph(g1)) == 1
+        assert len(store.graph(g1)) == 2
+
+    def test_dataset_snapshot_union_deduplicates(self):
+        store = QuadStore()
+        g1 = URIRef(EX + "g1")
+        store.insert(_triple(1))
+        store.insert(_triple(1), context=g1)
+        union = store.dataset_snapshot().union_graph()
+        assert len(list(union.triples((None, None, None)))) == 1
+
+    def test_unknown_named_graph_is_empty_view(self):
+        store = QuadStore()
+        view = store.dataset_snapshot().graph(URIRef(EX + "nope"))
+        assert len(view) == 0
+        assert list(view.triples((None, None, None))) == []
+
+    def test_remove_graph_refused_on_snapshot(self):
+        store = QuadStore()
+        store.insert(_triple(1), context=URIRef(EX + "g1"))
+        snapshot = store.dataset_snapshot()
+        with pytest.raises(FrozenGraphError):
+            snapshot.remove_graph(URIRef(EX + "g1"))
+
+
+class TestOverlays:
+    def test_overlay_folds_past_limit(self):
+        store = QuadStore(overlay_limit=8)
+        for i in range(20):
+            store.insert(_triple(i))
+        info = store.info()
+        # folding keeps the overlay bounded by the limit
+        assert info["overlay_ops"] <= 8
+        assert store.size == 20
+
+    def test_fold_preserves_contents_and_generation_semantics(self):
+        store = QuadStore(overlay_limit=4)
+        expected = set()
+        for i in range(12):
+            store.insert(_triple(i))
+            expected.add(_triple(i))
+            if i % 3 == 0:
+                store.remove((URIRef(f"{EX}s{i}"), None, None))
+                expected.discard(_triple(i))
+        assert set(store.head().triples((None, None, None))) == expected
+
+    def test_compact_folds_without_changing_contents(self):
+        store = QuadStore(overlay_limit=1024)
+        for i in range(6):
+            store.insert(_triple(i))
+        store.remove((URIRef(EX + "s0"), None, None))
+        before = store.to_nquads()
+        generation = store.generation
+        summary = store.compact()
+        assert summary["folded_contexts"] >= 1
+        assert store.to_nquads() == before
+        assert store.generation == generation  # same data, same gen
+
+
+class TestSyncDataset:
+    def test_sync_is_one_generation_and_idempotent(self):
+        store = QuadStore()
+        dataset = Dataset()
+        dataset.default.add(_triple(1))
+        dataset.graph(URIRef(EX + "g1")).add(_triple(2))
+        first = store.sync_dataset(dataset)
+        assert first == 1
+        assert store.size == 2
+        # identical dataset → nothing to reconcile, no new generation
+        assert store.sync_dataset(dataset) == first
+
+    def test_sync_removes_vanished_quads(self):
+        store = QuadStore()
+        dataset = Dataset()
+        dataset.default.add(_triple(1))
+        dataset.default.add(_triple(2))
+        store.sync_dataset(dataset)
+        smaller = Dataset()
+        smaller.default.add(_triple(1))
+        store.sync_dataset(smaller)
+        assert store.size == 1
+        assert store.head()._contains(*_triple(1))
+
+
+class TestStatistics:
+    def test_statistics_maintained_incrementally(self):
+        """Commits keep the cached snapshot in step with a fresh
+        collection pass — without full rebuilds."""
+        store = QuadStore()
+        city = URIRef(EX + "City")
+        batch = store.batch()
+        for i in range(5):
+            batch.insert((URIRef(f"{EX}s{i}"), RDF.type, city))
+        store.commit(batch)
+        stats = store.statistics()
+        assert stats.class_counts[city] == 5
+
+        store.remove((URIRef(EX + "s0"), None, None))
+        fresh_view = store.head()
+        maintained = store.statistics()
+        assert maintained.class_counts[city] == 4
+        assert maintained.fingerprint == fresh_view.generation
+
+        from repro.analysis.stats import GraphStatistics
+
+        reference = GraphStatistics.collect(fresh_view)
+        assert maintained.total == reference.total
+        assert maintained.class_counts == reference.class_counts
+        assert maintained.predicates == reference.predicates
+
+
+class TestMisc:
+    def test_is_quad_store_duck_typing(self):
+        assert is_quad_store(QuadStore())
+        assert not is_quad_store(Graph())
+        assert not is_quad_store(object())
+
+    def test_context_coercion_rejects_garbage(self):
+        store = QuadStore()
+        with pytest.raises(TypeError):
+            store.insert(_triple(1), context=123)
+
+    def test_info_shape(self):
+        store = QuadStore(name="mem")
+        store.insert(_triple(1))
+        info = store.info()
+        assert info["name"] == "mem"
+        assert info["directory"] is None
+        assert info["generation"] == 1
+        assert info["quads"] == 1
+        assert "wal" not in info  # in-memory store does no file IO
+
+    def test_store_error_is_value_error(self):
+        assert issubclass(StoreError, ValueError)

@@ -1,0 +1,117 @@
+"""StoreGraph: the mutable Graph facade over one store context."""
+
+from repro.rdf.terms import Literal, URIRef
+from repro.store import QuadStore, StoreGraph
+
+EX = "http://example.org/"
+
+
+def _triple(i, o="x"):
+    return (URIRef(f"{EX}s{i}"), URIRef(EX + "p"), Literal(o))
+
+
+class TestAutocommit:
+    def test_insert_commits_immediately(self):
+        store = QuadStore()
+        graph = StoreGraph(store)
+        assert graph.insert(_triple(1))
+        assert store.generation == 1
+        assert not graph.insert(_triple(1))  # newness reported
+        assert store.generation == 1  # duplicate did not commit
+
+    def test_add_all_is_one_generation(self):
+        store = QuadStore()
+        graph = StoreGraph(store)
+        graph.add_all([_triple(i) for i in range(5)])
+        assert store.generation == 1
+        assert len(graph) == 5
+
+    def test_remove_pattern(self):
+        store = QuadStore()
+        graph = StoreGraph(store)
+        graph.add_all([_triple(i) for i in range(3)])
+        assert graph.remove((None, URIRef(EX + "p"), None)) == 3
+        assert len(graph) == 0
+
+    def test_named_context_routes_to_that_graph(self):
+        store = QuadStore()
+        g1 = URIRef(EX + "g1")
+        graph = StoreGraph(store, context=g1)
+        graph.insert(_triple(1))
+        assert len(store.graph(g1)) == 1
+        assert len(store.graph(None)) == 0
+
+
+class TestBuffered:
+    def test_flush_commits_one_generation(self):
+        store = QuadStore()
+        graph = StoreGraph(store, buffered=True)
+        for i in range(4):
+            graph.insert(_triple(i))
+        assert store.generation == 0  # nothing committed yet
+        assert graph.pending_ops == 4
+        generation = graph.flush()
+        assert generation == 1
+        assert graph.pending_ops == 0
+        assert store.size == 4
+
+    def test_buffered_reads_see_pending_writes(self):
+        store = QuadStore()
+        store.insert(_triple(0))
+        graph = StoreGraph(store, buffered=True)
+        graph.insert(_triple(1))
+        graph.remove((URIRef(EX + "s0"), None, None))
+        # the facade merges pending ops over the live head
+        assert len(graph) == 1
+        triples = set(graph.triples((None, None, None)))
+        assert triples == {_triple(1)}
+        # the store itself is untouched until flush
+        assert store.size == 1
+        graph.flush()
+        assert store.size == 1
+        assert store.head()._contains(*_triple(1))
+
+    def test_last_op_per_triple_wins(self):
+        store = QuadStore()
+        graph = StoreGraph(store, buffered=True)
+        graph.insert(_triple(1))
+        graph.remove((URIRef(EX + "s1"), None, None))
+        graph.insert(_triple(1))
+        graph.flush()
+        assert store.head()._contains(*_triple(1))
+
+    def test_empty_flush_commits_nothing(self):
+        store = QuadStore()
+        store.insert(_triple(1))
+        graph = StoreGraph(store, buffered=True)
+        assert graph.flush() == 1
+        assert store.generation == 1
+
+    def test_version_tracks_generation_and_buffer(self):
+        store = QuadStore()
+        graph = StoreGraph(store, buffered=True)
+        v0 = graph._version
+        graph.insert(_triple(1))
+        v1 = graph._version
+        assert v1 != v0  # pending op changes the staleness key
+        graph.flush()
+        assert graph._version != v1
+
+    def test_predicate_statistics_with_pending(self):
+        store = QuadStore()
+        store.insert(_triple(1))
+        graph = StoreGraph(store, buffered=True)
+        graph.insert(_triple(2))
+        stats = graph.predicate_statistics()
+        count, subjects, objects = stats[URIRef(EX + "p")]
+        assert count == 2
+        assert subjects == 2
+
+    def test_copy_detaches_from_store(self):
+        store = QuadStore()
+        graph = StoreGraph(store)
+        graph.insert(_triple(1))
+        copy = graph.copy()
+        copy.add(_triple(2))
+        assert len(copy) == 2
+        assert store.size == 1
