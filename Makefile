@@ -49,6 +49,9 @@ benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 ## Storage-engine guards: snapshot restart must beat WAL replay >= 2x;
-## reader throughput under an active writer is recorded unguarded.
+## group commit must beat per-write commits >= 2x for 8 writers; an
+## op-count checkpoint watermark must bound the WAL over 10k commits.
+## Reader throughput under an active writer is recorded unguarded.
 bench-store:
-	$(PYTHON) -m pytest benchmarks/bench_store.py --benchmark-only -q
+	$(PYTHON) -m pytest benchmarks/bench_store.py \
+		benchmarks/bench_group_commit.py --benchmark-only -q

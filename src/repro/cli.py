@@ -247,12 +247,32 @@ def build_parser() -> argparse.ArgumentParser:
              "(WAL + snapshots)",
     )
     store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    def _store_policy_flags(parser) -> None:
+        parser.add_argument(
+            "--checkpoint-ops", type=int, metavar="N", default=None,
+            help="auto-checkpoint once N effective ops were committed "
+                 "since the last checkpoint",
+        )
+        parser.add_argument(
+            "--checkpoint-wal-bytes", type=int, metavar="N",
+            default=None,
+            help="auto-checkpoint once the WAL tail exceeds N bytes",
+        )
+        parser.add_argument(
+            "--group-commit", action="store_true", dest="group_commit",
+            help="coalesce concurrent commit batches into shared WAL "
+                 "flushes (one fsync per group)",
+        )
+
     store_info = store_sub.add_parser(
         "info",
-        help="print generation, sizes, WAL/snapshot state and the "
-             "recovery outcome of opening the store",
+        help="print generation, sizes, WAL/snapshot state, checkpoint "
+             "policy, group-commit stats and the recovery outcome of "
+             "opening the store",
     )
     store_info.add_argument("directory", help="store directory")
+    _store_policy_flags(store_info)
     store_compact = store_sub.add_parser(
         "compact",
         help="fold overlays, write a fresh snapshot, reset the WAL "
@@ -272,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_load.add_argument("directory", help="store directory")
     store_load.add_argument("file", help="N-Quads input ('-' for stdin)")
+    _store_policy_flags(store_load)
     store_dump = store_sub.add_parser(
         "dump",
         help="print the store's content as canonical sorted N-Quads",
@@ -810,10 +831,22 @@ def _cmd_explain(args) -> int:
 def _cmd_store(args) -> int:
     import json
 
-    from .store import QuadStore
+    from .store import CheckpointPolicy, QuadStore
+
+    def policy_kwargs() -> dict:
+        kwargs: dict = {}
+        ops = getattr(args, "checkpoint_ops", None)
+        wal_bytes = getattr(args, "checkpoint_wal_bytes", None)
+        if ops is not None or wal_bytes is not None:
+            kwargs["checkpoint_policy"] = CheckpointPolicy(
+                ops=ops, wal_bytes=wal_bytes
+            )
+        if getattr(args, "group_commit", False):
+            kwargs["group_commit"] = True
+        return kwargs
 
     if args.store_command == "info":
-        with QuadStore(args.directory) as store:
+        with QuadStore(args.directory, **policy_kwargs()) as store:
             print(json.dumps(store.info(), indent=2, sort_keys=True))
         return 0
 
@@ -843,12 +876,15 @@ def _cmd_store(args) -> int:
         else:
             with open(args.file, "r", encoding="utf-8") as handle:
                 text = handle.read()
-        with QuadStore(args.directory) as store:
+        with QuadStore(args.directory, **policy_kwargs()) as store:
             ops = [
                 (OP_ADD, (s, p, o), graph)
                 for s, p, o, graph in parse_nquads(text)
             ]
             generation, effective = store.apply(ops)
+            # let a policy-triggered checkpoint finish before closing,
+            # so the replay cost the flags asked to bound is bounded
+            store.wait_for_checkpoints()
             print(
                 f"loaded {effective} new quad(s) "
                 f"({len(ops)} statement(s)) at generation {generation}"

@@ -182,8 +182,22 @@ class BatchAnnotator:
                 self._drain(pending, outcomes)
             else:
                 self._run_parallel(pending, root)
+        self._settle_store()
         self._update_resolver_report(stats, baseline)
         return stats
+
+    def _settle_store(self) -> None:
+        """Let a policy-triggered background checkpoint finish.
+
+        A store-backed target whose :class:`~repro.store.engine.
+        CheckpointPolicy` tripped during this run may still be writing
+        its snapshot; waiting here means that when ``run`` returns, the
+        WAL replay cost the policy bounds is actually bounded — a
+        restart right after a completed batch replays only the tail."""
+        store = getattr(self.target, "store", None)
+        wait = getattr(store, "wait_for_checkpoints", None)
+        if callable(wait):
+            wait()
 
     @property
     def done(self) -> bool:
@@ -255,7 +269,9 @@ class BatchAnnotator:
         """Checkpoint boundary: flush a buffered store-backed target
         (one annotation batch → one generation-stamped commit / WAL
         record) *before* the progress callback, so a checkpoint the
-        callback persists never points past durable data."""
+        callback persists never points past durable data. A failed
+        flush keeps its ops buffered in the target and raises — the
+        callback never sees a checkpoint whose batch did not commit."""
         flush = getattr(self.target, "flush", None)
         if callable(flush):
             flush()

@@ -18,13 +18,25 @@ The storage engine extracted out of :class:`repro.rdf.graph.Graph`
 * :class:`WriteAheadLog` / snapshot files — durability; opening a store
   directory *is* crash recovery (newest snapshot + WAL tail, torn tail
   truncated).
+* :class:`CheckpointPolicy` — opt-in automatic checkpointing: WAL-byte
+  and op-count watermarks evaluated after each commit trigger a
+  background snapshot + WAL reset, bounding restart replay without
+  explicit ``compact()`` calls (the default stays explicit-only).
+* :class:`GroupCommitQueue` — opt-in group commit
+  (``QuadStore(..., group_commit=True)``): concurrent writers coalesce
+  into one WAL append / fsync / published generation per group, each
+  submitter still observing its serial-equivalent result.
 
 The ``repro store`` CLI (``info``/``compact``/``recover``/``load``/
-``dump``) administers store directories; ``repro_store_*`` metrics in
-:mod:`repro.obs` expose generations, WAL traffic and compactions.
+``dump``, plus the ``--checkpoint-ops``/``--checkpoint-wal-bytes``/
+``--group-commit`` policy flags) administers store directories;
+``repro_store_*`` metrics in :mod:`repro.obs` expose generations, WAL
+traffic, compactions, automatic checkpoints and group-commit batching.
 """
 
 from .engine import (
+    CheckpointPolicy,
+    GroupCommitQueue,
     QuadStore,
     SnapshotDataset,
     SnapshotGraph,
@@ -37,6 +49,8 @@ from .persistence import RecoveryReport, snapshot_files
 from .wal import WalScan, WriteAheadLog, scan_wal
 
 __all__ = [
+    "CheckpointPolicy",
+    "GroupCommitQueue",
     "QuadStore",
     "RecoveryReport",
     "SnapshotDataset",

@@ -26,11 +26,27 @@ Overlays are folded into a fresh base once they exceed
 Durability: WAL + periodic :meth:`QuadStore.checkpoint` snapshot files
 (:mod:`repro.store.persistence`); restart replays snapshot + WAL tail.
 An in-memory store (``directory=None``) skips all file IO.
+
+Throughput machinery around that write path:
+
+* :class:`CheckpointPolicy` — WAL-byte / op-count watermarks evaluated
+  after every commit; when one trips, a background checkpointer thread
+  runs :meth:`QuadStore.checkpoint` off the commit hot path so WAL
+  replay time stays bounded without anyone calling ``repro store
+  compact``. The default policy is *explicit-only* (no watermarks,
+  no thread) — exactly the historical behavior.
+* :class:`GroupCommitQueue` (``QuadStore(group_commit=True)``) — sits
+  in front of the commit lock and coalesces concurrently submitted
+  batches into **one** WAL append, one fsync and one published
+  generation; each submitter still gets its own effective-op count
+  back, so N small autocommit writers cost ~1 disk flush per window
+  instead of N.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 from typing import (
     Any,
@@ -70,6 +86,8 @@ from .persistence import (
 from .wal import OP_ADD, OP_REMOVE, WriteAheadLog, scan_wal, truncate_wal
 
 __all__ = [
+    "CheckpointPolicy",
+    "GroupCommitQueue",
     "QuadStore",
     "SnapshotDataset",
     "SnapshotGraph",
@@ -409,6 +427,300 @@ class _Working:
         return triple in self.base and triple not in self.removes
 
 
+class CheckpointPolicy:
+    """When the store checkpoints on its own.
+
+    Two independent watermarks, evaluated after every commit (both
+    reads happen under the commit lock, so they are exact):
+
+    * ``wal_bytes`` — checkpoint once the WAL tail (what a restart
+      would replay) exceeds this many bytes;
+    * ``ops`` — checkpoint once this many effective ops were committed
+      since the last checkpoint.
+
+    Leaving both unset (the default) is *explicit-only* mode: nothing
+    checkpoints automatically and no background thread is started —
+    the store behaves exactly as before this policy existed.
+    """
+
+    __slots__ = ("wal_bytes", "ops")
+
+    def __init__(
+        self,
+        *,
+        wal_bytes: Optional[int] = None,
+        ops: Optional[int] = None,
+    ) -> None:
+        for name, value in (("wal_bytes", wal_bytes), ("ops", ops)):
+            if value is not None and value <= 0:
+                raise ValueError(
+                    f"CheckpointPolicy {name} watermark must be "
+                    f"positive, got {value!r}"
+                )
+        self.wal_bytes = wal_bytes
+        self.ops = ops
+
+    @property
+    def explicit_only(self) -> bool:
+        return self.wal_bytes is None and self.ops is None
+
+    def due(self, wal_tail_bytes: int, ops_since: int) -> bool:
+        """Does the current WAL tail / op backlog trip a watermark?"""
+        if self.wal_bytes is not None and wal_tail_bytes >= self.wal_bytes:
+            return True
+        return self.ops is not None and ops_since >= self.ops
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": "explicit-only" if self.explicit_only else "auto",
+            "wal_bytes": self.wal_bytes,
+            "ops": self.ops,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.explicit_only:
+            return "CheckpointPolicy(explicit-only)"
+        return (
+            f"CheckpointPolicy(wal_bytes={self.wal_bytes}, "
+            f"ops={self.ops})"
+        )
+
+
+class _Checkpointer:
+    """Background thread running :meth:`QuadStore.checkpoint` when a
+    :class:`CheckpointPolicy` watermark trips.
+
+    Commits only :meth:`request` a checkpoint (one condition notify —
+    the snapshot IO happens on this thread, off the commit hot path).
+    Requests are idempotent: a request arriving while a checkpoint is
+    already due or running coalesces into the next run. ``close``
+    drains a pending request (one final checkpoint) and joins the
+    thread. All flags are guarded by the condition's lock; the
+    checkpoint itself runs with no checkpointer lock held.
+    """
+
+    def __init__(self, store: "QuadStore") -> None:
+        self._store = store
+        self._cond = threading.Condition()
+        self._due = False
+        self._running = False
+        self._closing = False
+        #: completed / failed runs (guarded by the condition's lock).
+        self._runs = 0
+        self._failures = 0
+        self._last_error: Optional[str] = None
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"repro-store-checkpointer-{store.name}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def request(self) -> None:
+        """Ask for a checkpoint soon; cheap and idempotent."""
+        with self._cond:
+            if self._closing:
+                return
+            self._due = True
+            self._cond.notify_all()
+
+    def wait_until_idle(self, timeout: float = 10.0) -> bool:
+        """Block until no checkpoint is due or running (tests/CLI)."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._due or self._running:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    def close(self) -> None:
+        """Drain any pending request, then stop and join the thread."""
+        with self._cond:
+            self._closing = True
+            self._cond.notify_all()
+        self._thread.join()
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "runs": self._runs,
+                "failures": self._failures,
+                "last_error": self._last_error,
+                "pending": self._due or self._running,
+            }
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._due and not self._closing:
+                    self._cond.wait()
+                if not self._due:  # closing with nothing left to drain
+                    return
+                self._due = False
+                self._running = True
+            error: Optional[str] = None
+            try:
+                path = self._store.checkpoint()
+                # superseded snapshots would otherwise accumulate one
+                # per watermark trip; keep only the one just written
+                written = int(path.stem.split("-")[1])
+                prune_snapshots(self._store.directory, written)
+            except Exception as exc:
+                # disk full / closed WAL: record, stay alive — the next
+                # commit past the watermark re-requests a checkpoint
+                error = f"{type(exc).__name__}: {exc}"
+            _observe_auto_checkpoint(self._store, failed=error is not None)
+            with self._cond:
+                self._running = False
+                if error is None:
+                    self._runs += 1
+                else:
+                    self._failures += 1
+                    self._last_error = error
+                self._cond.notify_all()
+
+
+class _Submission:
+    """One batch handed to the group-commit queue, and its result."""
+
+    __slots__ = (
+        "ops", "done", "generation", "effective", "error",
+        "flushed", "lead",
+    )
+
+    def __init__(self, ops: List[BatchOp]) -> None:
+        self.ops = ops
+        self.done = False
+        self.generation = 0
+        self.effective = 0
+        self.error: Optional[BaseException] = None
+        #: signalled when the batch was flushed — or when this
+        #: submission is promoted to leader of the next group.
+        self.flushed = threading.Event()
+        self.lead = False
+
+    def resolve(
+        self,
+        generation: int,
+        effective: int,
+        error: Optional[BaseException],
+    ) -> None:
+        self.generation = generation
+        self.effective = effective
+        self.error = error
+        self.done = True
+        self.flushed.set()
+
+
+class GroupCommitQueue:
+    """Coalesces concurrently submitted batches into one commit.
+
+    Leader/follower protocol: a submitter enqueues its ops and, if no
+    leader is active, becomes the leader; otherwise it waits on its
+    submission's event without ever touching the commit lock. The
+    leader takes the store's commit lock, drains every submission
+    enqueued so far and commits them as **one** WAL append, one fsync
+    (``sync=True`` stores) and one published generation;
+    per-submission effective-op counts come back from the engine's
+    segment accounting, so each submitter observes exactly the result
+    serial commits would have given it. On finishing, the leader
+    promotes the head of whatever queued meanwhile to leader of the
+    next group (waking it through the same event).
+
+    Keeping followers off the commit lock is what makes the groups
+    large: if followers queued on the lock instead, every flush would
+    wake a convoy of already-committed waiters whose serialized
+    acquire/release cycles let only a couple of fresh submissions
+    accumulate per group. With event-parked followers the batching
+    window is the leader's full flush, so a group grows toward *all*
+    concurrent writers.
+
+    A failed group commit (WAL append error) publishes nothing: every
+    submission in the group gets the error and re-raises it in its own
+    thread. Stats and the queue are guarded by the queue's own mutex,
+    which is only ever taken *after* the commit lock (never the
+    reverse), so the lock order stays acyclic.
+    """
+
+    def __init__(self, store: "QuadStore") -> None:
+        self._store = store
+        self._mutex = threading.Lock()
+        self._pending: List[_Submission] = []
+        self._busy = False  # a leader is flushing (guarded by mutex)
+        #: lifetime stats (guarded by ``_mutex``).
+        self._groups = 0
+        self._submissions = 0
+        self._batched = 0
+        self._largest_group = 0
+
+    def submit(self, ops: Sequence[BatchOp]) -> Tuple[int, int]:
+        """Commit ``ops`` through the queue; returns
+        ``(generation, effective op count)`` like ``QuadStore.apply``.
+        """
+        sub = _Submission(list(ops))
+        began = time.perf_counter()
+        with self._mutex:
+            self._pending.append(sub)
+            self._submissions += 1
+            if not self._busy:
+                self._busy = True
+                sub.lead = True
+        if not sub.lead:
+            sub.flushed.wait()  # a leader flushes or promotes us
+        if sub.lead:
+            try:
+                with self._store._commit_lock:
+                    with self._mutex:
+                        drained = self._pending
+                        self._pending = []
+                    self._commit_group(drained)
+            finally:
+                with self._mutex:
+                    if self._pending:
+                        heir = self._pending[0]
+                        heir.lead = True
+                        heir.flushed.set()
+                    else:
+                        self._busy = False
+        _observe_group_flush(
+            self._store, time.perf_counter() - began
+        )
+        if sub.error is not None:
+            raise sub.error
+        return sub.generation, sub.effective
+
+    def _commit_group(self, group: List[_Submission]) -> None:
+        # commit lock held; ``group`` always contains the leader's own
+        # submission (promotion happens before the next drain)
+        try:
+            generation, counts = self._store._apply_segments_locked(
+                [sub.ops for sub in group]
+            )
+        except BaseException as exc:
+            for sub in group:
+                sub.resolve(0, 0, exc)
+        else:
+            for sub, effective in zip(group, counts):
+                sub.resolve(generation, effective, None)
+        with self._mutex:
+            self._groups += 1
+            self._batched += len(group) - 1
+            if len(group) > self._largest_group:
+                self._largest_group = len(group)
+        _observe_group_commit(self._store, len(group))
+
+    def stats(self) -> dict:
+        with self._mutex:
+            return {
+                "submissions": self._submissions,
+                "groups": self._groups,
+                "batched": self._batched,
+                "largest_group": self._largest_group,
+            }
+
+
 class QuadStore:
     """The pluggable MVCC storage engine (see module docstring).
 
@@ -424,6 +736,14 @@ class QuadStore:
     overlay_limit:
         Fold a context's overlay into a fresh base once it exceeds this
         many ops (in-memory compaction; no file IO).
+    checkpoint_policy:
+        When to checkpoint automatically (see
+        :class:`CheckpointPolicy`). The default is explicit-only;
+        a policy with watermarks requires a durable store and starts
+        one background checkpointer thread.
+    group_commit:
+        Route :meth:`apply` through a :class:`GroupCommitQueue` so
+        concurrent small writers share WAL appends and fsyncs.
     """
 
     def __init__(
@@ -434,6 +754,8 @@ class QuadStore:
         sync: bool = False,
         overlay_limit: int = 1024,
         namespaces: Optional[NamespaceManager] = None,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
+        group_commit: bool = False,
     ) -> None:
         self.namespaces = namespaces or NamespaceManager()
         self.directory = (
@@ -444,7 +766,19 @@ class QuadStore:
             else "ephemeral"
         )
         self.overlay_limit = overlay_limit
+        self.checkpoint_policy = checkpoint_policy or CheckpointPolicy()
+        if (
+            not self.checkpoint_policy.explicit_only
+            and self.directory is None
+        ):
+            raise StoreError(
+                "checkpoint-policy watermarks require a durable store "
+                "(directory=...); an in-memory store has no WAL to bound"
+            )
         self._commit_lock = threading.Lock()
+        #: effective ops committed since the last checkpoint (guarded
+        #: by the commit lock; reset by ``checkpoint``).
+        self._ops_since_checkpoint = 0
         self._wal: Optional[WriteAheadLog] = None
         self.recovery: Optional[RecoveryReport] = None
         if self.directory is not None:
@@ -456,6 +790,12 @@ class QuadStore:
             _observe_recovery(self)
         else:
             self._state = _State(0, {}, 0, None)
+        self._group = GroupCommitQueue(self) if group_commit else None
+        self._checkpointer = (
+            _Checkpointer(self)
+            if not self.checkpoint_policy.explicit_only
+            else None
+        )
         _observe_generation(self)
 
     # -- recovery -------------------------------------------------------
@@ -573,6 +913,8 @@ class QuadStore:
         """Like :meth:`commit` but also returns the effective op count."""
         if not ops:
             return self._state.generation, 0  # cc: allow=CC001
+        if self._group is not None:
+            return self._group.submit(ops)
         with self._commit_lock:
             return self._apply_locked(ops)
 
@@ -601,26 +943,54 @@ class QuadStore:
     def _apply_locked(self, ops: Sequence[BatchOp]) -> Tuple[int, int]:
         # callers hold self._commit_lock (the analyzer cannot see the
         # cross-function acquire)
+        generation, counts = self._apply_segments_locked([ops])
+        return generation, counts[0]
+
+    def _apply_segments_locked(
+        self, segments: Sequence[Sequence[BatchOp]]
+    ) -> Tuple[int, List[int]]:
+        """Commit several op lists as **one** generation (lock held).
+
+        One WAL append, one fsync, one state publication for the whole
+        group; returns the generation plus the effective op count of
+        each segment — what that segment would have reported had it
+        committed serially in this order."""
+        if self.directory is not None and self._wal is None:
+            # a closed durable store must refuse writes: they would be
+            # acknowledged in memory but never reach the WAL
+            raise StoreError(
+                f"store {self.name!r} is closed; commit refused"
+            )
         state = self._state  # cc: allow=CC001
-        outcome = self._advance(state, ops, state.generation + 1)
+        outcome = self._advance(state, segments, state.generation + 1)
         if outcome is None:
-            return state.generation, 0
-        new_state, effective, union_added, union_removed, folded = outcome
+            return state.generation, [0] * len(segments)
+        (new_state, effective, seg_counts,
+         union_added, union_removed, folded) = outcome
         wal_bytes = 0
         if self._wal is not None:
             wal_bytes = self._wal.append(new_state.generation, effective)
         _maintain_stats(state, new_state, union_added, union_removed)
         self._state = new_state  # cc: allow=CC001 (commit lock held)
+        self._ops_since_checkpoint += len(effective)  # cc: allow=CC001
+        if self._checkpointer is not None and self.checkpoint_policy.due(
+            self._wal.tail_bytes if self._wal is not None else 0,
+            self._ops_since_checkpoint,  # cc: allow=CC001 (lock held)
+        ):
+            # one condition notify; the snapshot IO runs on the
+            # checkpointer thread after this commit releases the lock
+            self._checkpointer.request()
         _observe_commit(self, len(effective), wal_bytes, folded)
-        return new_state.generation, len(effective)
+        return new_state.generation, seg_counts
 
     def _advance(
         self,
         state: _State,
-        ops: Sequence[BatchOp],
+        segments: Sequence[Sequence[BatchOp]],
         generation: int,
     ) -> Optional[
-        Tuple[_State, List[Tuple[str, Quad]], List[Triple], List[Triple], int]
+        Tuple[_State, List[Tuple[str, Quad]], List[int],
+              List[Triple], List[Triple], int]
     ]:
         """Pure derivation of the next state; ``None`` when no-op."""
         touched: Dict[ContextKey, _Working] = {}
@@ -647,39 +1017,43 @@ class QuadStore:
             return any(ctx_visible(key, triple) for key in keys)
 
         effective: List[Tuple[str, Quad]] = []
+        seg_counts: List[int] = []
         union_added: List[Triple] = []
         union_removed: List[Triple] = []
         union_delta = 0
-        for op, triple, key in ops:
-            if op == OP_ADD:
-                if ctx_visible(key, triple):
-                    continue
-                seen_before = union_visible(triple)
-                scratch = working(key)
-                if triple in scratch.removes:
-                    scratch.removes.discard(triple)
-                else:
-                    scratch.adds.insert(triple)
-                scratch.size += 1
-                effective.append((op, triple + (key,)))
-                if not seen_before:
-                    union_added.append(triple)
-                    union_delta += 1
-            elif op == OP_REMOVE:
-                if not ctx_visible(key, triple):
-                    continue
-                scratch = working(key)
-                if triple in scratch.adds:
-                    scratch.adds.remove(triple)
-                else:
-                    scratch.removes.add(triple)
-                scratch.size -= 1
-                effective.append((op, triple + (key,)))
-                if not union_visible(triple):
-                    union_removed.append(triple)
-                    union_delta -= 1
-            else:  # pragma: no cover - WriteBatch only emits +/-
-                raise StoreError(f"unknown op {op!r}")
+        for ops in segments:
+            seg_start = len(effective)
+            for op, triple, key in ops:
+                if op == OP_ADD:
+                    if ctx_visible(key, triple):
+                        continue
+                    seen_before = union_visible(triple)
+                    scratch = working(key)
+                    if triple in scratch.removes:
+                        scratch.removes.discard(triple)
+                    else:
+                        scratch.adds.insert(triple)
+                    scratch.size += 1
+                    effective.append((op, triple + (key,)))
+                    if not seen_before:
+                        union_added.append(triple)
+                        union_delta += 1
+                elif op == OP_REMOVE:
+                    if not ctx_visible(key, triple):
+                        continue
+                    scratch = working(key)
+                    if triple in scratch.adds:
+                        scratch.adds.remove(triple)
+                    else:
+                        scratch.removes.add(triple)
+                    scratch.size -= 1
+                    effective.append((op, triple + (key,)))
+                    if not union_visible(triple):
+                        union_removed.append(triple)
+                        union_delta -= 1
+                else:  # pragma: no cover - WriteBatch only emits +/-
+                    raise StoreError(f"unknown op {op!r}")
+            seg_counts.append(len(effective) - seg_start)
         if not effective:
             return None
 
@@ -704,7 +1078,8 @@ class QuadStore:
         new_state = _State(
             generation, contexts, state.union_size + union_delta, None
         )
-        return new_state, effective, union_added, union_removed, folded
+        return (new_state, effective, seg_counts,
+                union_added, union_removed, folded)
 
     # -- durability operations ------------------------------------------
     def checkpoint(self) -> Path:
@@ -733,6 +1108,7 @@ class QuadStore:
             # bounded file op on our own WAL handle; commits must
             # stay blocked until the log matching the snapshot is empty
             self._wal.reset()  # cc: allow=CC003
+            self._ops_since_checkpoint = 0
         _observe_checkpoint(self)
         return path
 
@@ -841,11 +1217,32 @@ class QuadStore:
                  "bytes": path.stat().st_size}
                 for generation, path in snapshot_files(self.directory)
             ]
+        data["checkpoint_policy"] = self.checkpoint_policy.as_dict()
+        if self._checkpointer is not None:
+            data["auto_checkpoint"] = self._checkpointer.stats()
+        data["group_commit"] = (
+            self._group.stats() if self._group is not None else None
+        )
         if self.recovery is not None:
             data["recovery"] = self.recovery.as_dict()
         return data
 
+    def wait_for_checkpoints(self, timeout: float = 10.0) -> bool:
+        """Block until no automatic checkpoint is due or running.
+
+        ``True`` immediately for explicit-only stores. Tests and the
+        CLI use this to observe a settled WAL; commits arriving while
+        waiting can re-arm the policy and extend the wait."""
+        if self._checkpointer is None:
+            return True
+        return self._checkpointer.wait_until_idle(timeout)
+
     def close(self) -> None:
+        # stop the checkpointer first: it may be mid-checkpoint and
+        # needs the WAL alive to reset it
+        if self._checkpointer is not None:
+            self._checkpointer.close()
+            self._checkpointer = None
         if self._wal is not None:
             self._wal.close()
             self._wal = None
@@ -1022,6 +1419,34 @@ def _observe_checkpoint(store: QuadStore) -> None:
         "repro_store_checkpoints_total",
         "Snapshot checkpoints written per store",
     ).labels(store=store.name).inc()
+
+
+def _observe_auto_checkpoint(store: QuadStore, *, failed: bool) -> None:
+    get_registry().counter(
+        "repro_store_auto_checkpoints_total",
+        "Policy-triggered background checkpoints per store and outcome",
+    ).labels(store=store.name, outcome="error" if failed else "ok").inc()
+
+
+def _observe_group_commit(store: QuadStore, group_size: int) -> None:
+    registry = get_registry()
+    labels = {"store": store.name}
+    registry.counter(
+        "repro_store_group_commit_groups_total",
+        "Group commits flushed per store",
+    ).labels(**labels).inc()
+    if group_size > 1:
+        registry.counter(
+            "repro_store_group_commit_batched_total",
+            "Submissions that shared another submitter's WAL flush",
+        ).labels(**labels).inc(group_size - 1)
+
+
+def _observe_group_flush(store: QuadStore, seconds: float) -> None:
+    get_registry().histogram(
+        "repro_store_flush_seconds",
+        "Group-commit latency per submitted batch (queue wait + flush)",
+    ).labels(store=store.name).observe(seconds)
 
 
 def _observe_recovery(store: QuadStore) -> None:

@@ -72,9 +72,15 @@ class StoreGraph(Graph):
     # -- derived Graph attributes ---------------------------------------
     @property
     def _size(self) -> int:  # type: ignore[override]
-        view = self.store.graph(self.context)
-        size = len(view)
+        # pin the store view *inside* the lock so the view and the
+        # buffer belong to the same moment with respect to this
+        # facade's writers (pinning before the lock let a concurrent
+        # flush land between the two reads)
         with self._lock:
+            # pinning a snapshot is one atomic reference read, no IO,
+            # and the store never calls back into this facade
+            view = self.store.graph(self.context)  # cc: allow=CC003
+            size = len(view)
             for triple, op in self._pending.items():
                 visible = view._contains(*triple)
                 if op == OP_ADD and not visible:
@@ -123,16 +129,17 @@ class StoreGraph(Graph):
         return self
 
     def remove(self, pattern: TriplePattern) -> int:
-        matches = list(self.triples(pattern))
-        if not matches:
-            return 0
         if not self.buffered:
-            ops: List[BatchOp] = [
-                (OP_REMOVE, triple, self.context) for triple in matches
-            ]
-            self.store.apply(ops)
-            return len(matches)
+            # the store matches and removes under its commit lock, so
+            # no writer can slip a commit between match and removal
+            # (matching here first and applying later could remove
+            # triples a concurrent commit already retracted, or miss
+            # ones it just added)
+            return self.store.remove(pattern, self.context)
         with self._lock:
+            # match and push under one lock acquisition: a concurrent
+            # buffered writer cannot interleave between the two
+            matches = list(self.triples(pattern))
             for triple in matches:
                 self._push(OP_REMOVE, triple)
         return len(matches)
@@ -148,16 +155,29 @@ class StoreGraph(Graph):
             self._pending[triple] = op
 
     def flush(self) -> int:
-        """Commit buffered ops as one generation; returns it."""
+        """Commit buffered ops as one generation; returns it.
+
+        If the commit fails (disk full, closed store) the drained ops
+        are restored to the buffer — merged under any ops buffered
+        concurrently, which win per triple — and the error propagates,
+        so nothing is silently lost and a later flush retries."""
         with self._lock:
-            ops: List[BatchOp] = [
-                (op, triple, self.context)
-                for triple, op in self._pending.items()
-            ]
-            self._pending.clear()
-        if not ops:
+            drained = self._pending
+            self._pending = {}
+        if not drained:
             return self.store.generation
-        generation, _ = self.store.apply(ops)
+        ops: List[BatchOp] = [
+            (op, triple, self.context)
+            for triple, op in drained.items()
+        ]
+        try:
+            generation, _ = self.store.apply(ops)
+        except BaseException:
+            with self._lock:
+                merged = dict(drained)
+                merged.update(self._pending)
+                self._pending = merged
+            raise
         return generation
 
     @property
@@ -180,8 +200,10 @@ class StoreGraph(Graph):
     def triples(
         self, pattern: TriplePattern = (None, None, None)
     ) -> Iterator[Triple]:
-        view = self.store.graph(self.context)
         with self._lock:
+            # view and buffer pinned under one acquisition (see _size —
+            # the pin is an atomic reference read, safe under the lock)
+            view = self.store.graph(self.context)  # cc: allow=CC003
             pending = dict(self._pending) if self._pending else None
         if pending is None:
             yield from view.triples(pattern)

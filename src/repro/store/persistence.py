@@ -6,8 +6,11 @@ Graph-writes: the freshly loaded private base graphs only
 A *snapshot* is the full store content at one generation, written as
 canonical N-Quads (sorted lines, trailing newline) to
 ``snapshot-<generation, 9 digits>.nq``. Snapshots are written atomically
-— serialized to a temp file, flushed, ``fsync``-ed, then renamed into
-place — so a crash mid-checkpoint leaves the previous snapshot intact.
+— serialized to a temp file, flushed, ``fsync``-ed, renamed into place,
+then the *parent directory* is ``fsync``-ed — so a crash mid-checkpoint
+leaves the previous snapshot intact, and a power loss after the rename
+cannot un-rename it (the rename itself lives in the directory entry,
+which only the directory fsync makes durable).
 Restart cost is therefore ``O(snapshot + WAL tail)`` instead of
 ``O(entire history)``: the engine loads the newest readable snapshot and
 replays only the WAL records with a later generation.
@@ -29,6 +32,7 @@ from ..rdf.terms import URIRef
 __all__ = [
     "WAL_FILENAME",
     "RecoveryReport",
+    "fsync_directory",
     "load_snapshot",
     "prune_snapshots",
     "snapshot_files",
@@ -43,6 +47,25 @@ _SNAPSHOT_RE = re.compile(r"^snapshot-(\d{9})\.nq$")
 
 #: Identifier given to the default-context base graph.
 DEFAULT_GRAPH_IRI = URIRef("urn:graph:default")
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory's entries (renames, truncates) to disk.
+
+    File-content fsyncs do not make *namespace* operations durable: a
+    rename or truncate lives in the directory, and a power loss can
+    roll it back unless the directory itself is fsync-ed. Platforms
+    whose filesystems cannot open directories (Windows) silently skip —
+    there the rename durability is the filesystem's business.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX platforms
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def snapshot_path(directory: Path, generation: int) -> Path:
@@ -79,6 +102,8 @@ def write_snapshot(
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, final)
+    # the rename is only durable once the directory entry is flushed
+    fsync_directory(directory)
     return final
 
 

@@ -27,6 +27,13 @@ The engine serializes ``append``/``reset`` calls under its commit lock;
 this module takes no locks of its own. The file handle is opened once
 at construction (never under a lock) and ``reset`` truncates in place
 through the same handle.
+
+Durability guarantee: ``reset`` and :func:`truncate_wal` fsync the
+truncated file *and then the parent directory*, so a power loss after
+either cannot resurrect the discarded bytes — without the directory
+fsync the filesystem may replay the metadata journal without the
+truncate and recovery would re-apply ops that a checkpoint already
+folded into a snapshot (or re-trust a torn tail that was already cut).
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from typing import IO, List, Optional, Sequence, Tuple, Union
 
 from ..rdf.nquads import Quad, parse_nquads_line, serialize_quad
 from ..rdf.ntriples import NTriplesError
+from .persistence import fsync_directory
 
 __all__ = [
     "OP_ADD",
@@ -211,6 +219,8 @@ def truncate_wal(path: Union[str, Path], valid_bytes: int) -> int:
         handle.truncate(valid_bytes)
         handle.flush()
         os.fsync(handle.fileno())
+    # make the truncate itself durable (see the module docstring)
+    fsync_directory(path.parent)
     return size - valid_bytes
 
 
@@ -232,6 +242,10 @@ class WriteAheadLog:
         self.records = 0
         self.bytes_written = 0
         self._handle: Optional[IO[bytes]] = open(self.path, "ab")
+        #: bytes in the log since the last reset — what a restart would
+        #: have to replay; maintained in memory so the engine's
+        #: checkpoint policy never stats the file on the commit path.
+        self.tail_bytes = self._handle.tell()
         if self._handle.tell() > 0:
             # Guarantee appends start on a line boundary even when a
             # previous process died between a commit marker and its
@@ -243,6 +257,7 @@ class WriteAheadLog:
             if trailing != b"\n":
                 self._handle.write(b"\n")
                 self._handle.flush()
+                self.tail_bytes += 1
 
     def append(self, generation: int, ops: Sequence[WalOp]) -> int:
         """Append one committed batch; returns the bytes written."""
@@ -264,21 +279,27 @@ class WriteAheadLog:
             os.fsync(self._handle.fileno())
         self.records += 1
         self.bytes_written += len(payload)
+        self.tail_bytes += len(payload)
         return len(payload)
 
     def reset(self) -> None:
         """Empty the log (after its content was folded into a snapshot).
 
         Truncates through the already-open handle — no file open happens
-        here, so the engine may call this under its commit lock.
+        here, so the engine may call this under its commit lock. The
+        truncate is always fsync-ed (file, then parent directory) even
+        for ``sync=False`` logs: a resurrected pre-checkpoint tail
+        under freshly appended post-checkpoint records would corrupt
+        the log, and resets are rare (one per checkpoint).
         """
         if self._handle is None:
             raise ValueError(f"WAL {self.path} is closed")
         self._handle.flush()
         self._handle.truncate(0)
         self._handle.seek(0)
-        if self.sync:
-            os.fsync(self._handle.fileno())
+        os.fsync(self._handle.fileno())
+        fsync_directory(self.path.parent)
+        self.tail_bytes = 0
 
     def size(self) -> int:
         """Current on-disk size of the log file."""

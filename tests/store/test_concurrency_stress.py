@@ -133,3 +133,120 @@ class TestReaderWriterEquivalence:
                 len(_batch_triples(b)) for b in range(lo, BATCHES, 2)
             )
             assert len(store.graph(context)) == expected
+
+
+class TestInterleavedRemove:
+    """Regression: autocommit ``StoreGraph.remove`` matched the pattern
+    in one lock acquisition and applied the OP_REMOVEs in another, so
+    two racing removers could both claim the same triple. Conservation
+    invariant: each round inserts exactly one triple, so the racers'
+    removal counts must sum to exactly one."""
+
+    ROUNDS = 100
+
+    def _run_rounds(self, graph, subject, triple):
+        """One inserter vs two racing removers, round by round.
+
+        Two rendezvous per round: ``go`` releases the race only after
+        the insert landed, ``done`` holds the next insert until both
+        removers finished this round (otherwise the next insert could
+        race a stale remover and break the one-triple-per-round
+        invariant the conservation assert depends on)."""
+        removed = [0, 0]
+        go = threading.Barrier(3)
+        done = threading.Barrier(3)
+
+        def remover(slot):
+            for _ in range(self.ROUNDS):
+                go.wait()
+                removed[slot] += graph.remove((subject, None, None))
+                done.wait()
+
+        threads = [
+            threading.Thread(target=remover, args=(slot,))
+            for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        inserted = 0
+        for _ in range(self.ROUNDS):
+            inserted += graph.insert(triple)
+            go.wait()  # both removers race for the single triple
+            done.wait()
+        for thread in threads:
+            thread.join()
+        assert inserted == self.ROUNDS  # every round started empty
+        return removed
+
+    def test_racing_removers_conserve_counts(self):
+        store = QuadStore()
+        graph = StoreGraph(store)
+        subject = URIRef(EX + "contested")
+        triple = (subject, URIRef(EX + "p"), Literal("x"))
+        removed = self._run_rounds(graph, subject, triple)
+        assert sum(removed) == self.ROUNDS
+        assert len(graph) == 0
+
+    def test_buffered_racing_removers_conserve_counts(self):
+        store = QuadStore()
+        graph = StoreGraph(store, buffered=True)
+        subject = URIRef(EX + "contested")
+        triple = (subject, URIRef(EX + "p"), Literal("x"))
+        removed = self._run_rounds(graph, subject, triple)
+        assert sum(removed) == self.ROUNDS
+        assert len(graph) == 0
+        graph.flush()
+        assert store.size == 0
+
+
+class TestWritePathMachineryUnderStress:
+    """Group commit + background checkpointer running together while
+    readers pin snapshots — the lock sanitizer (REPRO_SANITIZE=1 or the
+    fixture) must observe no inversion between the commit lock, the
+    queue mutex and the checkpointer condition."""
+
+    def test_group_commit_with_auto_checkpoint_and_readers(
+        self, tmp_path, lock_sanitizer
+    ):
+        from repro.store import CheckpointPolicy
+
+        store = QuadStore(
+            tmp_path / "s",
+            group_commit=True,
+            checkpoint_policy=CheckpointPolicy(ops=20),
+        )
+        stop = threading.Event()
+        errors = []
+
+        def writer(t):
+            for b in range(BATCHES):
+                for triple in _batch_triples(f"{t}_{b}"):
+                    generation, _ = store.apply(
+                        [("+", triple, None)]
+                    )
+                    if generation <= 0:
+                        errors.append("bad generation")
+
+        def reader():
+            while not stop.is_set():
+                view = store.head()
+                sum(1 for _ in view.triples((None, None, None)))
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [
+            threading.Thread(target=writer, args=(t,)) for t in range(4)
+        ]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not errors
+        assert store.wait_for_checkpoints()
+        assert store.size == 4 * BATCHES * PER_BATCH
+        dump = store.to_nquads()
+        store.close()
+        with QuadStore(tmp_path / "s") as reopened:
+            assert reopened.to_nquads() == dump

@@ -1,7 +1,10 @@
 """StoreGraph: the mutable Graph facade over one store context."""
 
+import pytest
+
 from repro.rdf.terms import Literal, URIRef
 from repro.store import QuadStore, StoreGraph
+from repro.store.wal import OP_ADD, OP_REMOVE
 
 EX = "http://example.org/"
 
@@ -115,3 +118,90 @@ class TestBuffered:
         copy.add(_triple(2))
         assert len(copy) == 2
         assert store.size == 1
+
+
+class TestFlushFailure:
+    """Regression: a failed flush used to clear the buffer first and
+    silently lose every drained op."""
+
+    def test_failed_flush_keeps_ops_and_raises(self, monkeypatch):
+        store = QuadStore()
+        graph = StoreGraph(store, buffered=True)
+        for i in range(3):
+            graph.insert(_triple(i))
+
+        def broken_apply(ops):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store, "apply", broken_apply)
+        with pytest.raises(OSError, match="disk full"):
+            graph.flush()
+        # nothing lost: the drained ops are back in the buffer
+        assert graph.pending_ops == 3
+        assert store.size == 0
+
+        monkeypatch.undo()
+        generation = graph.flush()  # the retry commits everything
+        assert generation == 1
+        assert graph.pending_ops == 0
+        assert store.size == 3
+
+    def test_restore_keeps_concurrently_buffered_ops_winning(
+        self, monkeypatch
+    ):
+        store = QuadStore()
+        graph = StoreGraph(store, buffered=True)
+        graph.insert(_triple(1))
+        assert graph._pending == {_triple(1): OP_ADD}
+
+        def racing_apply(ops):
+            # a "concurrent" writer retracts the triple while the
+            # flush is failing; its op must survive the restore
+            graph._push(OP_REMOVE, _triple(1))
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store, "apply", racing_apply)
+        with pytest.raises(OSError):
+            graph.flush()
+        assert graph._pending == {_triple(1): OP_REMOVE}
+
+    def test_closed_store_flush_is_not_silent(self, tmp_path):
+        store = QuadStore(tmp_path / "s")
+        graph = StoreGraph(store, buffered=True)
+        graph.insert(_triple(1))
+        store.close()
+        with pytest.raises(ValueError):
+            graph.flush()
+        assert graph.pending_ops == 1
+
+
+class TestRemoveAtomicity:
+    """Regression: autocommit remove matched in one lock acquisition
+    and pushed the OP_REMOVEs in another."""
+
+    def test_autocommit_remove_delegates_to_store(self, monkeypatch):
+        store = QuadStore()
+        graph = StoreGraph(store)
+        graph.add_all([_triple(i) for i in range(3)])
+        seen = {}
+        original = store.remove
+
+        def spying_remove(pattern, context=None):
+            seen["pattern"] = pattern
+            return original(pattern, context)
+
+        monkeypatch.setattr(store, "remove", spying_remove)
+        assert graph.remove((None, URIRef(EX + "p"), None)) == 3
+        # match + push happened inside the store's commit lock
+        assert seen["pattern"] == (None, URIRef(EX + "p"), None)
+        assert len(graph) == 0
+
+    def test_buffered_remove_matches_and_pushes_under_one_lock(self):
+        store = QuadStore()
+        store.insert(_triple(1))
+        graph = StoreGraph(store, buffered=True)
+        graph.insert(_triple(2))
+        removed = graph.remove((None, URIRef(EX + "p"), None))
+        assert removed == 2
+        assert graph.pending_ops == 2
+        assert len(graph) == 0

@@ -1,0 +1,198 @@
+"""Group commit: concurrent batches coalesce into shared flushes while
+every submitter observes the result serial commits would have given it.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.rdf.terms import Literal, URIRef
+from repro.store import QuadStore
+from repro.store.wal import OP_ADD
+
+EX = "http://example.org/"
+P = URIRef(EX + "p")
+
+
+def _op(key, i):
+    return (OP_ADD, (URIRef(f"{EX}{key}{i}"), P, Literal(str(i))), None)
+
+
+class TestSingleThreaded:
+    """With no contention every submission leads its own group — the
+    queue must be observably identical to the direct commit path."""
+
+    def test_results_match_direct_commits(self):
+        grouped = QuadStore(group_commit=True)
+        direct = QuadStore()
+        for i in range(10):
+            assert grouped.apply([_op("s", i)]) == direct.apply(
+                [_op("s", i)]
+            )
+        # duplicate insert: same no-op on both paths
+        assert grouped.apply([_op("s", 3)]) == direct.apply([_op("s", 3)])
+        assert grouped.to_nquads() == direct.to_nquads()
+        assert grouped.generation == direct.generation
+        stats = grouped._group.stats()
+        assert stats["submissions"] == 11
+        assert stats["batched"] == 0
+
+    def test_noop_submission_does_not_bump_generation(self):
+        store = QuadStore(group_commit=True)
+        store.apply([_op("s", 1)])
+        generation, effective = store.apply([_op("s", 1)])
+        assert (generation, effective) == (1, 0)
+        assert store.generation == 1
+
+
+class TestConcurrent:
+    def test_n_threads_equal_serial_commits(self):
+        """8 writers, disjoint triples: whatever the interleaving and
+        grouping, content equals the serial run and every submitter
+        sees its own effective count."""
+        store = QuadStore(group_commit=True)
+        results = {}
+
+        def writer(t):
+            mine = []
+            for i in range(25):
+                mine.append(store.apply([_op(f"t{t}_", i)]))
+            results[t] = mine
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        serial = QuadStore()
+        for t in range(8):
+            for i in range(25):
+                serial.apply([_op(f"t{t}_", i)])
+        assert store.to_nquads() == serial.to_nquads()
+        assert store.size == 200
+        # every distinct insert was effective exactly once, and the
+        # generation each submitter saw is never past the final head
+        for t, mine in results.items():
+            assert [eff for _, eff in mine] == [1] * 25
+            assert all(1 <= gen <= store.generation for gen, _ in mine)
+        stats = store._group.stats()
+        assert stats["submissions"] == 200
+        assert stats["groups"] == store.generation
+        assert stats["batched"] == 200 - store.generation
+
+    def test_duplicate_insert_races_resolve_to_one_effective(self):
+        """Two writers inserting the same triple: exactly one effective
+        op total, whether they share a group or not."""
+        for _ in range(20):
+            store = QuadStore(group_commit=True)
+            outcomes = []
+            barrier = threading.Barrier(2)
+
+            def submit():
+                barrier.wait()
+                outcomes.append(store.apply([_op("dup", 0)]))
+
+            threads = [
+                threading.Thread(target=submit) for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert sum(eff for _, eff in outcomes) == 1
+            assert store.size == 1
+
+    def test_blocked_leader_coalesces_followers(self, tmp_path):
+        """Hold the commit lock while four submitters queue up: on
+        release one leader must flush all four as one WAL record and
+        one generation."""
+        store = QuadStore(tmp_path / "s", group_commit=True)
+        store._commit_lock.acquire()
+        threads = [
+            threading.Thread(
+                target=lambda i=i: store.apply([_op("w", i)])
+            )
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            with store._group._mutex:
+                queued = len(store._group._pending)
+            if queued == 4:
+                break
+            time.sleep(0.005)
+        else:  # pragma: no cover - diagnostic path
+            pytest.fail("submissions never queued")
+        store._commit_lock.release()
+        for thread in threads:
+            thread.join()
+
+        assert store.generation == 1  # one published generation
+        assert store._wal.records == 1  # one WAL append
+        assert store.size == 4
+        stats = store._group.stats()
+        assert stats["groups"] == 1
+        assert stats["batched"] == 3
+        assert stats["largest_group"] == 4
+        store.close()
+
+    def test_failed_group_commit_publishes_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        store = QuadStore(tmp_path / "s", group_commit=True)
+        store.apply([_op("seed", 0)])
+
+        def broken_append(generation, ops):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store._wal, "append", broken_append)
+        errors = []
+
+        def submit(i):
+            try:
+                store.apply([_op("w", i)])
+            except OSError as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submit, args=(i,)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # every submitter saw the failure; no state was published
+        assert len(errors) == 3
+        assert store.generation == 1
+        assert store.size == 1
+        monkeypatch.undo()
+        generation, effective = store.apply([_op("w", 99)])
+        assert (generation, effective) == (2, 1)
+        store.close()
+
+    def test_grouped_store_recovers_after_crash(self, tmp_path):
+        """WAL records written by group commits replay like any other."""
+        store = QuadStore(tmp_path / "s", sync=True, group_commit=True)
+        threads = [
+            threading.Thread(
+                target=lambda t=t: [
+                    store.apply([_op(f"t{t}_", i)]) for i in range(10)
+                ]
+            )
+            for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        dump = store.to_nquads()
+        store.close()  # simulate crash-and-restart: reopen from disk
+        with QuadStore(tmp_path / "s") as reopened:
+            assert reopened.to_nquads() == dump
+            assert reopened.size == 40

@@ -177,3 +177,68 @@ class TestTornTail:
             assert store.generation == 1
             assert store.recovery.snapshot_generation == 1
             assert store.size == 1
+
+
+class TestDirectoryFsync:
+    """Regression: snapshot renames and WAL truncates fsync-ed the file
+    but never the parent directory, so a power loss could roll back the
+    rename/truncate itself. The sweep monkeypatches ``os.fsync`` and
+    asserts a *directory* descriptor is synced on every namespace
+    operation."""
+
+    @staticmethod
+    def _record_dir_fsyncs(monkeypatch):
+        import os
+        import stat
+
+        calls = []
+        real_fsync = os.fsync
+
+        def recording(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                calls.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording)
+        return calls
+
+    def test_checkpoint_syncs_directory_for_rename_and_reset(
+        self, tmp_path, monkeypatch
+    ):
+        with QuadStore(tmp_path) as store:
+            store.insert(_triple(1))
+            calls = self._record_dir_fsyncs(monkeypatch)
+            store.checkpoint()
+        # once for the snapshot rename, once for the WAL reset
+        assert len(calls) >= 2
+
+    def test_torn_tail_truncate_syncs_directory(
+        self, tmp_path, monkeypatch
+    ):
+        with QuadStore(tmp_path) as store:
+            store.insert(_triple(1))
+        wal_path = tmp_path / WAL_FILENAME
+        data = wal_path.read_bytes()
+        wal_path.write_bytes(data + b"B 99")  # torn header
+        calls = self._record_dir_fsyncs(monkeypatch)
+        with QuadStore(tmp_path) as store:
+            assert store.recovery.torn_bytes > 0
+        assert len(calls) >= 1  # truncate_wal synced the directory
+
+    def test_recovery_sweep_survives_checkpoint_cycles(
+        self, tmp_path, monkeypatch
+    ):
+        """Full sweep: commits, auto-prune-style checkpoints, torn
+        tail — every namespace op paired with a directory fsync, and
+        recovery restores the exact committed content."""
+        calls = self._record_dir_fsyncs(monkeypatch)
+        with QuadStore(tmp_path) as store:
+            for i in range(6):
+                store.insert(_triple(i))
+                if i % 2 == 1:
+                    store.checkpoint()
+            dump = store.to_nquads()
+        checkpoints = 3
+        assert len(calls) >= 2 * checkpoints
+        with QuadStore(tmp_path) as store:
+            assert store.to_nquads() == dump
