@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check test lint-tools self-check lint-concurrency lint-effects \
-	sanitize sanitize-store benchmarks bench-store
+	sanitize sanitize-store benchmarks bench-store bench-loadgen \
+	slo-smoke
 
 ## The CI gate: tier-1 tests + static analysis + the repo's own lint.
 check: test lint-tools self-check lint-concurrency lint-effects
@@ -55,3 +56,15 @@ benchmarks:
 bench-store:
 	$(PYTHON) -m pytest benchmarks/bench_store.py \
 		benchmarks/bench_group_commit.py --benchmark-only -q
+
+## Observability guards: the default traffic mix must meet the default
+## SLO spec, and the sampling profiler must stay <= 1.10x overhead.
+bench-loadgen:
+	$(PYTHON) -m pytest benchmarks/bench_loadgen.py \
+		--benchmark-only -q
+
+## One small SLO-checked load run straight through the CLI — the same
+## invocation the slo-smoke CI job gates on.
+slo-smoke:
+	$(PYTHON) -m repro obs loadgen --mix default --seed 7 \
+		--ops 48 --workers 4 --slo

@@ -312,6 +312,114 @@ def build_parser() -> argparse.ArgumentParser:
         "--tree", action="store_true",
         help="also print the span tree of the first annotated title",
     )
+
+    obs_loadgen = obs_sub.add_parser(
+        "loadgen",
+        help="drive a deterministic mixed traffic load (uploads, "
+             "search, albums, mashups, browsing, store writes) against "
+             "a fresh platform + store and report latency distributions",
+    )
+    obs_loadgen.add_argument(
+        "--mix", default="default",
+        help="traffic mix: default, read-heavy, write-heavy, ingest",
+    )
+    obs_loadgen.add_argument("--seed", type=int, default=42)
+    obs_loadgen.add_argument(
+        "--ops", type=int, default=60, help="operations to execute"
+    )
+    obs_loadgen.add_argument(
+        "--workers", type=int, default=4, help="worker threads"
+    )
+    obs_loadgen.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed-loop (back-to-back) or open-loop (paced arrivals)",
+    )
+    obs_loadgen.add_argument(
+        "--rate", type=float, default=20.0,
+        help="open-loop arrival rate in ops/second",
+    )
+    obs_loadgen.add_argument(
+        "--base-contents", type=int, default=25,
+        help="pre-loaded contents before the run starts",
+    )
+    obs_loadgen.add_argument(
+        "--sync-every", type=int, default=4,
+        help="uploads per store synchronization",
+    )
+    obs_loadgen.add_argument(
+        "--schedule-only", action="store_true",
+        help="print the deterministic operation schedule and exit",
+    )
+    obs_loadgen.add_argument(
+        "--slo", nargs="?", const="", default=None, metavar="SPEC",
+        help="evaluate SLOs after the run (default spec, or a JSON "
+             "spec file); exits 1 on breach",
+    )
+    obs_loadgen.add_argument(
+        "--report", metavar="FILE",
+        help="write the SLO report (or load report) as JSON",
+    )
+    obs_loadgen.add_argument(
+        "--save-metrics", metavar="FILE",
+        help="write the run's metrics snapshot + metadata as JSON "
+             "(consumable by 'repro obs slo --input')",
+    )
+    obs_loadgen.add_argument(
+        "--profile", nargs="?", const="", default=None, metavar="FILE",
+        help="sample the run with the wall-clock profiler (optionally "
+             "writing collapsed stacks to FILE); REPRO_PROFILE=1|FILE "
+             "does the same from the environment",
+    )
+    obs_loadgen.add_argument(
+        "--profile-hz", type=float, default=67.0,
+        help="profiler sampling rate",
+    )
+
+    obs_slo = obs_sub.add_parser(
+        "slo",
+        help="judge a saved metrics snapshot against an SLO spec and "
+             "emit a structured pass/fail report (exit 1 on breach)",
+    )
+    obs_slo.add_argument(
+        "--input", required=True, metavar="FILE",
+        help="metrics JSON ('repro obs loadgen --save-metrics' output "
+             "or a raw registry snapshot)",
+    )
+    obs_slo.add_argument(
+        "--spec", metavar="FILE",
+        help="JSON SLO spec (omit for the default loadgen spec)",
+    )
+    obs_slo.add_argument(
+        "--report", metavar="FILE", help="write the report as JSON"
+    )
+
+    obs_profile = obs_sub.add_parser(
+        "profile",
+        help="run a small load under the sampling profiler and print "
+             "the hottest stacks (flamegraph-compatible output)",
+    )
+    obs_profile.add_argument("--seed", type=int, default=42)
+    obs_profile.add_argument("--ops", type=int, default=40)
+    obs_profile.add_argument("--workers", type=int, default=4)
+    obs_profile.add_argument("--hz", type=float, default=200.0)
+    obs_profile.add_argument(
+        "--top", type=int, default=10, help="hot frames to print"
+    )
+    obs_profile.add_argument(
+        "--output", metavar="FILE",
+        help="write collapsed stacks (flamegraph.pl input) to FILE",
+    )
+
+    obs_health = obs_sub.add_parser(
+        "health",
+        help="one-shot health probe: a tiny mixed load run judged "
+             "against the default SLOs (exit 1 when unhealthy)",
+    )
+    obs_health.add_argument("--seed", type=int, default=42)
+    # 32+ ops is the smallest schedule where every op kind of the
+    # default mix reliably appears (a missing kind reads as "no data"
+    # and would fail its SLO)
+    obs_health.add_argument("--ops", type=int, default=32)
     return parser
 
 
@@ -902,9 +1010,227 @@ def _cmd_store(args) -> int:
 def _cmd_obs(args) -> int:
     if args.obs_command == "demo":
         return _cmd_obs_demo(args)
+    if args.obs_command == "loadgen":
+        return _cmd_obs_loadgen(args)
+    if args.obs_command == "slo":
+        return _cmd_obs_slo(args)
+    if args.obs_command == "profile":
+        return _cmd_obs_profile(args)
+    if args.obs_command == "health":
+        return _cmd_obs_health(args)
     print(f"error: unknown obs command {args.obs_command!r}",
           file=sys.stderr)
     return 2
+
+
+def _write_json(path: str, payload) -> None:
+    import json
+    import os
+
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _cmd_obs_loadgen(args) -> int:
+    from .obs import (
+        MetricsRegistry,
+        SamplingProfiler,
+        SLOSpec,
+        default_slo,
+        evaluate_slo,
+        profile_from_env,
+        set_registry,
+    )
+    from .workloads.loadgen import (
+        LoadConfig,
+        LoadGenerator,
+        build_schedule,
+        render_schedule,
+        schedule_digest,
+    )
+
+    try:
+        config = LoadConfig(
+            mix=args.mix,
+            seed=args.seed,
+            ops=args.ops,
+            workers=args.workers,
+            mode=args.mode,
+            rate=args.rate,
+            base_contents=args.base_contents,
+            sync_every=args.sync_every,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    schedule = build_schedule(config)
+    if args.schedule_only:
+        print(render_schedule(schedule))
+        print(f"schedule digest: {schedule_digest(schedule)}")
+        return 0
+
+    profile_path = None
+    if args.profile is not None:
+        profiler = SamplingProfiler(hz=args.profile_hz)
+        profile_path = args.profile or None
+    else:
+        profiler, env_path = profile_from_env()
+        profile_path = str(env_path) if env_path else None
+
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    stats = None
+    try:
+        generator = LoadGenerator(config)
+        generator.setup()
+        if profiler is not None:
+            profiler.start()
+        try:
+            report = generator.run()
+        finally:
+            if profiler is not None:
+                stats = profiler.stop()
+    finally:
+        set_registry(previous)
+
+    print(report.render())
+    if profiler is not None and stats is not None:
+        print(
+            f"profiler: {stats.samples} sample(s) over "
+            f"{stats.threads_seen} thread(s), "
+            f"duty cycle {stats.duty_cycle:.2%}"
+        )
+        if profile_path:
+            written = profiler.write_collapsed(profile_path)
+            print(f"collapsed stacks -> {written}")
+        else:
+            for frame, count in profiler.top(5):
+                print(f"  {count:>5}  {frame}")
+    if args.save_metrics:
+        _write_json(args.save_metrics, {
+            "meta": report.to_dict(),
+            "metrics": report.metrics,
+        })
+        print(f"metrics snapshot -> {args.save_metrics}")
+
+    if args.slo is None:
+        if args.report:
+            _write_json(args.report, report.to_dict())
+            print(f"load report -> {args.report}")
+        return 0
+    spec = SLOSpec.load(args.slo) if args.slo else default_slo()
+    slo_report = evaluate_slo(spec, report.metrics, report.wall_seconds)
+    print()
+    print(slo_report.render())
+    if args.report:
+        _write_json(args.report, slo_report.to_dict())
+        print(f"SLO report -> {args.report}")
+    return 0 if slo_report.passed else 1
+
+
+def _cmd_obs_slo(args) -> int:
+    import json
+
+    from .obs import SLOError, SLOSpec, default_slo, evaluate_slo
+
+    try:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
+        return 2
+    if "metrics" in payload:  # a --save-metrics bundle
+        snapshot = payload["metrics"]
+        wall = payload.get("meta", {}).get("wall_seconds")
+    else:  # a raw registry snapshot
+        snapshot = payload
+        wall = None
+    try:
+        spec = SLOSpec.load(args.spec) if args.spec else default_slo()
+    except SLOError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = evaluate_slo(spec, snapshot, wall)
+    print(report.render())
+    if args.report:
+        _write_json(args.report, report.to_dict())
+        print(f"SLO report -> {args.report}")
+    return 0 if report.passed else 1
+
+
+def _cmd_obs_profile(args) -> int:
+    from .obs import MetricsRegistry, SamplingProfiler, set_registry
+    from .workloads.loadgen import LoadConfig, LoadGenerator
+
+    config = LoadConfig(
+        seed=args.seed, ops=args.ops, workers=args.workers
+    )
+    profiler = SamplingProfiler(hz=args.hz)
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        generator = LoadGenerator(config)
+        generator.setup()
+        profiler.start()
+        try:
+            report = generator.run()
+        finally:
+            stats = profiler.stop()
+    finally:
+        set_registry(previous)
+    print(
+        f"profiled {report.completed} op(s) in "
+        f"{report.wall_seconds:.2f}s: {stats.samples} sample(s) at "
+        f"{args.hz:g} Hz over {stats.threads_seen} thread(s), "
+        f"duty cycle {stats.duty_cycle:.2%}"
+    )
+    print(f"hottest frames (inclusive samples, top {args.top}):")
+    for frame, count in profiler.top(args.top):
+        print(f"  {count:>5}  {frame}")
+    if args.output:
+        written = profiler.write_collapsed(args.output)
+        print(f"collapsed stacks -> {written}")
+    return 0
+
+
+def _cmd_obs_health(args) -> int:
+    from .obs import (
+        MetricsRegistry,
+        default_slo,
+        evaluate_slo,
+        set_registry,
+    )
+    from .workloads.loadgen import LoadConfig, LoadGenerator
+
+    config = LoadConfig(seed=args.seed, ops=args.ops, workers=2)
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        generator = LoadGenerator(config)
+        generator.setup()
+        report = generator.run()
+    finally:
+        set_registry(previous)
+    slo_report = evaluate_slo(
+        default_slo(), report.metrics, report.wall_seconds
+    )
+    verdict = "healthy" if slo_report.passed else "UNHEALTHY"
+    print(
+        f"{verdict}: {report.completed} op(s) at "
+        f"{report.throughput:.1f} op/s, {report.errors} error(s), "
+        f"{len(slo_report.results) - len(slo_report.breaches)}/"
+        f"{len(slo_report.results)} SLO(s) met"
+    )
+    for breach in slo_report.breaches:
+        print(
+            f"  breach: {breach.objective.name} "
+            f"({breach.objective.target_text()}) — {breach.detail or ''}"
+        )
+    return 0 if slo_report.passed else 1
 
 
 def _cmd_obs_demo(args) -> int:

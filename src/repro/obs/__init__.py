@@ -18,6 +18,21 @@ from repro.obs.metrics import (
     MetricError,
     MetricsRegistry,
 )
+from repro.obs.profiler import (
+    ProfilerError,
+    ProfileStats,
+    SamplingProfiler,
+    profile_from_env,
+)
+from repro.obs.slo import (
+    Objective,
+    ObjectiveResult,
+    SLOError,
+    SLOReport,
+    SLOSpec,
+    default_slo,
+    evaluate_slo,
+)
 from repro.obs.tracing import (
     NOOP_SPAN,
     InMemorySpanExporter,
@@ -37,10 +52,21 @@ __all__ = [
     "MetricError",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "Objective",
+    "ObjectiveResult",
+    "ProfileStats",
+    "ProfilerError",
+    "SLOError",
+    "SLOReport",
+    "SLOSpec",
+    "SamplingProfiler",
     "Span",
     "Tracer",
+    "default_slo",
+    "evaluate_slo",
     "get_registry",
     "get_tracer",
+    "profile_from_env",
     "render_span_tree",
     "set_registry",
     "set_tracer",

@@ -197,6 +197,10 @@ class HistogramChild:
             maximum = self._max
         if total == 0:
             return 0.0
+        if q == 1.0:
+            # The tracked maximum is exact; interpolating to the upper
+            # bucket edge would overstate the tail.
+            return maximum
         rank = q * total
         cumulative = 0
         for index, bucket_count in enumerate(counts):
@@ -208,7 +212,7 @@ class HistogramChild:
                     self.buckets[index]
                     if index < len(self.buckets) else maximum
                 )
-                upper = max(upper, lower)
+                upper = max(min(upper, maximum), lower)
                 fraction = (
                     (rank - previous) / bucket_count
                     if bucket_count else 0.0

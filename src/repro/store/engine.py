@@ -61,7 +61,7 @@ from typing import (
     Union,
 )
 
-from ..obs import get_registry
+from ..obs import get_registry, get_tracer
 from ..rdf.graph import (
     Dataset,
     FrozenGraph,
@@ -561,17 +561,31 @@ class _Checkpointer:
                 self._due = False
                 self._running = True
             error: Optional[str] = None
-            try:
-                path = self._store.checkpoint()
-                # superseded snapshots would otherwise accumulate one
-                # per watermark trip; keep only the one just written
-                written = int(path.stem.split("-")[1])
-                prune_snapshots(self._store.directory, written)
-            except Exception as exc:
-                # disk full / closed WAL: record, stay alive — the next
-                # commit past the watermark re-requests a checkpoint
-                error = f"{type(exc).__name__}: {exc}"
-            _observe_auto_checkpoint(self._store, failed=error is not None)
+            run_began = time.perf_counter()
+            with get_tracer().span(
+                "store.auto_checkpoint", {"store": self._store.name}
+            ) as span:
+                try:
+                    path = self._store.checkpoint()
+                    # superseded snapshots would otherwise accumulate
+                    # one per watermark trip; keep only the one just
+                    # written
+                    written = int(path.stem.split("-")[1])
+                    prune_snapshots(self._store.directory, written)
+                except Exception as exc:
+                    # disk full / closed WAL: record, stay alive — the
+                    # next commit past the watermark re-requests a
+                    # checkpoint
+                    error = f"{type(exc).__name__}: {exc}"
+                    span.set_attribute("error", error)
+                span.set_attribute(
+                    "outcome", "error" if error else "ok"
+                )
+            _observe_auto_checkpoint(
+                self._store,
+                failed=error is not None,
+                seconds=time.perf_counter() - run_began,
+            )
             with self._cond:
                 self._running = False
                 if error is None:
@@ -669,6 +683,9 @@ class GroupCommitQueue:
                 sub.lead = True
         if not sub.lead:
             sub.flushed.wait()  # a leader flushes or promotes us
+        # queue wait: park time for a resolved follower, promotion
+        # delay for an heir, ~0 for an uncontended leader
+        waited = time.perf_counter() - began
         if sub.lead:
             try:
                 with self._store._commit_lock:
@@ -684,8 +701,21 @@ class GroupCommitQueue:
                         heir.flushed.set()
                     else:
                         self._busy = False
-        _observe_group_flush(
-            self._store, time.perf_counter() - began
+        elapsed = time.perf_counter() - began
+        role = "leader" if sub.lead else "follower"
+        _observe_group_flush(self._store, elapsed, role, waited)
+        # parents to the *submitting* thread's active span, so a
+        # follower's commit shows up in its own request trace even
+        # though another thread did the flush
+        get_tracer().record_span(
+            "store.group_commit",
+            elapsed,
+            attributes={
+                "store": self._store.name,
+                "role": role,
+                "generation": sub.generation,
+                "error": sub.error is not None,
+            },
         )
         if sub.error is not None:
             raise sub.error
@@ -968,8 +998,13 @@ class QuadStore:
         (new_state, effective, seg_counts,
          union_added, union_removed, folded) = outcome
         wal_bytes = 0
+        wal_seconds = 0.0
+        fsync_seconds = 0.0
         if self._wal is not None:
+            wal_began = time.perf_counter()
             wal_bytes = self._wal.append(new_state.generation, effective)
+            wal_seconds = time.perf_counter() - wal_began
+            fsync_seconds = self._wal.last_fsync_seconds
         _maintain_stats(state, new_state, union_added, union_removed)
         self._state = new_state  # cc: allow=CC001 (commit lock held)
         self._ops_since_checkpoint += len(effective)  # cc: allow=CC001
@@ -980,7 +1015,10 @@ class QuadStore:
             # one condition notify; the snapshot IO runs on the
             # checkpointer thread after this commit releases the lock
             self._checkpointer.request()
-        _observe_commit(self, len(effective), wal_bytes, folded)
+        _observe_commit(
+            self, len(effective), wal_bytes, folded,
+            wal_seconds, fsync_seconds,
+        )
         return new_state.generation, seg_counts
 
     def _advance(
@@ -1093,23 +1131,34 @@ class QuadStore:
             raise StoreError(
                 "checkpoint() requires a durable store (directory=...)"
             )
-        with self._commit_lock:
-            state = self._state
-            lines = [
-                serialize_quad((s, p, o, key))
-                for key, cs in state.contexts.items()
-                for s, p, o in _context_triples(cs, (None, None, None))
-            ]
-            # File IO under the commit lock is deliberate — see the
-            # docstring; writers are paused, readers are unaffected.
-            path = write_snapshot(
-                self.directory, state.generation, lines
-            )
-            # bounded file op on our own WAL handle; commits must
-            # stay blocked until the log matching the snapshot is empty
-            self._wal.reset()  # cc: allow=CC003
-            self._ops_since_checkpoint = 0
-        _observe_checkpoint(self)
+        with get_tracer().span(
+            "store.checkpoint", {"store": self.name}
+        ):
+            with self._commit_lock:
+                state = self._state
+                lines = [
+                    serialize_quad((s, p, o, key))
+                    for key, cs in state.contexts.items()
+                    for s, p, o in _context_triples(
+                        cs, (None, None, None)
+                    )
+                ]
+                # File IO under the commit lock is deliberate — see the
+                # docstring; writers are paused, readers unaffected.
+                # The clock reads bracketing it are nanosecond-cheap.
+                snap_began = time.perf_counter()  # cc: allow=CC003
+                path = write_snapshot(
+                    self.directory, state.generation, lines
+                )
+                snap_took = (
+                    time.perf_counter() - snap_began  # cc: allow=CC003
+                )
+                # bounded file op on our own WAL handle; commits must
+                # stay blocked until the log matching the snapshot is
+                # empty
+                self._wal.reset()  # cc: allow=CC003
+                self._ops_since_checkpoint = 0
+            _observe_checkpoint(self, snap_took)
         return path
 
     def compact(self) -> dict:
@@ -1381,7 +1430,12 @@ def _observe_generation(store: QuadStore) -> None:
 
 
 def _observe_commit(
-    store: QuadStore, ops: int, wal_bytes: int, folded: int
+    store: QuadStore,
+    ops: int,
+    wal_bytes: int,
+    folded: int,
+    wal_seconds: float = 0.0,
+    fsync_seconds: float = 0.0,
 ) -> None:
     registry = get_registry()
     labels = {"store": store.name}
@@ -1402,6 +1456,15 @@ def _observe_commit(
             "repro_store_wal_bytes_total",
             "WAL bytes appended per store",
         ).labels(**labels).inc(wal_bytes)
+        registry.histogram(
+            "repro_store_wal_append_seconds",
+            "WAL append latency per commit (serialize + write + flush)",
+        ).labels(**labels).observe(wal_seconds)
+        if fsync_seconds:
+            registry.histogram(
+                "repro_store_wal_fsync_seconds",
+                "fsync share of each WAL append (sync=True stores)",
+            ).labels(**labels).observe(fsync_seconds)
     if folded:
         _observe_fold(store, folded)
     _observe_generation(store)
@@ -1414,18 +1477,34 @@ def _observe_fold(store: QuadStore, folded: int) -> None:
     ).labels(store=store.name).inc(folded)
 
 
-def _observe_checkpoint(store: QuadStore) -> None:
-    get_registry().counter(
+def _observe_checkpoint(
+    store: QuadStore, snapshot_seconds: float = 0.0
+) -> None:
+    registry = get_registry()
+    registry.counter(
         "repro_store_checkpoints_total",
         "Snapshot checkpoints written per store",
     ).labels(store=store.name).inc()
+    if snapshot_seconds:
+        registry.histogram(
+            "repro_store_snapshot_write_seconds",
+            "Snapshot file write latency per checkpoint",
+        ).labels(store=store.name).observe(snapshot_seconds)
 
 
-def _observe_auto_checkpoint(store: QuadStore, *, failed: bool) -> None:
-    get_registry().counter(
+def _observe_auto_checkpoint(
+    store: QuadStore, *, failed: bool, seconds: float = 0.0
+) -> None:
+    outcome = "error" if failed else "ok"
+    registry = get_registry()
+    registry.counter(
         "repro_store_auto_checkpoints_total",
         "Policy-triggered background checkpoints per store and outcome",
-    ).labels(store=store.name, outcome="error" if failed else "ok").inc()
+    ).labels(store=store.name, outcome=outcome).inc()
+    registry.histogram(
+        "repro_store_checkpoint_seconds",
+        "Background checkpointer run duration per store and outcome",
+    ).labels(store=store.name, outcome=outcome).observe(seconds)
 
 
 def _observe_group_commit(store: QuadStore, group_size: int) -> None:
@@ -1440,13 +1519,29 @@ def _observe_group_commit(store: QuadStore, group_size: int) -> None:
             "repro_store_group_commit_batched_total",
             "Submissions that shared another submitter's WAL flush",
         ).labels(**labels).inc(group_size - 1)
+    registry.histogram(
+        "repro_store_group_batch_size",
+        "Submissions coalesced into each group commit",
+        buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+    ).labels(**labels).observe(group_size)
 
 
-def _observe_group_flush(store: QuadStore, seconds: float) -> None:
-    get_registry().histogram(
+def _observe_group_flush(
+    store: QuadStore,
+    seconds: float,
+    role: str = "leader",
+    wait_seconds: float = 0.0,
+) -> None:
+    registry = get_registry()
+    labels = {"store": store.name, "role": role}
+    registry.histogram(
         "repro_store_flush_seconds",
         "Group-commit latency per submitted batch (queue wait + flush)",
-    ).labels(store=store.name).observe(seconds)
+    ).labels(**labels).observe(seconds)
+    registry.histogram(
+        "repro_store_group_wait_seconds",
+        "Queue wait before each submission's flush began, by role",
+    ).labels(**labels).observe(wait_seconds)
 
 
 def _observe_recovery(store: QuadStore) -> None:

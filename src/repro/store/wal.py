@@ -39,6 +39,7 @@ folded into a snapshot (or re-trust a torn tail that was already cut).
 from __future__ import annotations
 
 import os
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -241,6 +242,11 @@ class WriteAheadLog:
         #: records / bytes appended through this handle (this process).
         self.records = 0
         self.bytes_written = 0
+        #: seconds the last ``append`` spent in ``os.fsync`` (0.0 when
+        #: ``sync=False``) — read by the engine's telemetry after each
+        #: commit so fsync stalls are attributable without this module
+        #: importing the metrics registry.
+        self.last_fsync_seconds = 0.0
         self._handle: Optional[IO[bytes]] = open(self.path, "ab")
         #: bytes in the log since the last reset — what a restart would
         #: have to replay; maintained in memory so the engine's
@@ -276,7 +282,11 @@ class WriteAheadLog:
         self._handle.write(payload)
         self._handle.flush()
         if self.sync:
+            fsync_began = time.perf_counter()
             os.fsync(self._handle.fileno())
+            self.last_fsync_seconds = time.perf_counter() - fsync_began
+        else:
+            self.last_fsync_seconds = 0.0
         self.records += 1
         self.bytes_written += len(payload)
         self.tail_bytes += len(payload)

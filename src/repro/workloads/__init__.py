@@ -7,14 +7,32 @@ from .generator import (
     populate_platform,
 )
 from .gold import GOLD_CORPUS, GoldExample, ScoredCorpus, score_pipeline
+from .loadgen import (
+    MIXES,
+    LoadConfig,
+    LoadGenerator,
+    LoadReport,
+    ScheduledOp,
+    build_schedule,
+    render_schedule,
+    schedule_digest,
+)
 
 __all__ = [
     "GOLD_CORPUS",
     "GoldExample",
+    "LoadConfig",
+    "LoadGenerator",
+    "LoadReport",
+    "MIXES",
     "ScoredCorpus",
+    "ScheduledOp",
     "Workload",
     "WorkloadConfig",
+    "build_schedule",
     "generate_workload",
     "populate_platform",
+    "render_schedule",
+    "schedule_digest",
     "score_pipeline",
 ]

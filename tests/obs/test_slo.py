@@ -1,0 +1,196 @@
+"""SLO spec parsing and snapshot evaluation."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import (
+    Objective,
+    SLOError,
+    SLOSpec,
+    default_slo,
+    evaluate_slo,
+    quantile_from_series,
+)
+
+
+def _latency_objective(threshold=0.5, quantile=0.95, labels=None):
+    return Objective(
+        name="lat", kind="latency", metric="op_seconds",
+        threshold=threshold, quantile=quantile, labels=labels or {},
+    )
+
+
+def _snapshot_with_latencies(values, labels=None):
+    registry = MetricsRegistry()
+    child = registry.histogram(
+        "op_seconds", "op latency"
+    ).labels(**(labels or {}))
+    for value in values:
+        child.observe(value)
+    return registry.snapshot()
+
+
+class TestSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SLOError):
+            Objective(name="x", kind="nope", metric="m", threshold=1.0)
+
+    def test_quantile_bounds_enforced(self):
+        with pytest.raises(SLOError):
+            Objective(
+                name="x", kind="latency", metric="m",
+                threshold=1.0, quantile=1.5,
+            )
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(SLOError):
+            SLOSpec(name="empty", objectives=())
+
+    def test_duplicate_objective_names_rejected(self):
+        with pytest.raises(SLOError):
+            SLOSpec(
+                name="dup",
+                objectives=(_latency_objective(), _latency_objective()),
+            )
+
+    def test_round_trips_through_json(self, tmp_path):
+        spec = default_slo()
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+        loaded = SLOSpec.load(path)
+        assert loaded == spec
+
+    def test_load_rejects_malformed_files(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SLOError):
+            SLOSpec.load(path)
+        with pytest.raises(SLOError):
+            SLOSpec.load(tmp_path / "absent.json")
+
+
+class TestQuantileFromSeries:
+    def test_matches_live_histogram_quantile(self):
+        registry = MetricsRegistry()
+        child = registry.histogram("h", "x").labels()
+        values = [0.0002, 0.003, 0.04, 0.5, 2.0]
+        for value in values:
+            child.observe(value)
+        snapshot = registry.snapshot()
+        series = snapshot["h"]["series"]
+        for q in (0.5, 0.95, 1.0):
+            estimate, samples = quantile_from_series(series, q)
+            assert samples == len(values)
+            assert estimate == pytest.approx(child.quantile(q))
+
+    def test_q1_is_max_across_merged_series(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "x")
+        histogram.labels(op="a").observe(0.1)
+        histogram.labels(op="b").observe(7.0)
+        series = registry.snapshot()["h"]["series"]
+        estimate, samples = quantile_from_series(series, 1.0)
+        assert samples == 2
+        assert estimate == 7.0
+
+    def test_empty_series_returns_none(self):
+        assert quantile_from_series([], 0.95) == (None, 0)
+
+
+class TestEvaluate:
+    def test_latency_pass_and_fail(self):
+        snapshot = _snapshot_with_latencies([0.01] * 20)
+        spec = SLOSpec("s", (_latency_objective(threshold=0.5),))
+        report = evaluate_slo(spec, snapshot)
+        assert report.passed
+        (result,) = report.results
+        assert result.ok and result.burn < 1.0 and result.samples == 20
+
+        tight = SLOSpec("s", (_latency_objective(threshold=0.001),))
+        report = evaluate_slo(tight, snapshot)
+        assert not report.passed
+        assert report.breaches[0].burn > 1.0
+
+    def test_label_filter_selects_series(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("op_seconds", "x")
+        histogram.labels(op="fast").observe(0.001)
+        histogram.labels(op="slow").observe(9.0)
+        snapshot = registry.snapshot()
+        spec = SLOSpec("s", (
+            _latency_objective(threshold=0.5, labels={"op": "fast"}),
+        ))
+        assert evaluate_slo(spec, snapshot).passed
+        spec = SLOSpec("s", (
+            _latency_objective(threshold=0.5, labels={"op": "slow"}),
+        ))
+        assert not evaluate_slo(spec, snapshot).passed
+
+    def test_missing_data_fails_with_detail(self):
+        spec = SLOSpec("s", (_latency_objective(),))
+        report = evaluate_slo(spec, {})
+        assert not report.passed
+        assert "absent" in report.results[0].detail
+        # present family, no matching labels
+        snapshot = _snapshot_with_latencies([0.1], labels={"op": "a"})
+        spec = SLOSpec("s", (
+            _latency_objective(labels={"op": "other"}),
+        ))
+        report = evaluate_slo(spec, snapshot)
+        assert not report.passed
+        assert "no series" in report.results[0].detail
+
+    def test_error_rate(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "x")
+        counter.labels(op="a", status="ok").inc(98)
+        counter.labels(op="a", status="error").inc(2)
+        snapshot = registry.snapshot()
+        objective = Objective(
+            name="err", kind="error_rate", metric="ops_total",
+            threshold=0.05,
+        )
+        report = evaluate_slo(SLOSpec("s", (objective,)), snapshot)
+        (result,) = report.results
+        assert result.ok
+        assert result.observed == pytest.approx(0.02)
+        tight = Objective(
+            name="err", kind="error_rate", metric="ops_total",
+            threshold=0.01,
+        )
+        assert not evaluate_slo(SLOSpec("s", (tight,)), snapshot).passed
+
+    def test_throughput_needs_wall_seconds(self):
+        snapshot = _snapshot_with_latencies([0.01] * 50)
+        objective = Objective(
+            name="tput", kind="throughput", metric="op_seconds",
+            threshold=10.0,
+        )
+        spec = SLOSpec("s", (objective,))
+        report = evaluate_slo(spec, snapshot, wall_seconds=2.0)
+        (result,) = report.results
+        assert result.ok and result.observed == pytest.approx(25.0)
+        assert not evaluate_slo(spec, snapshot, wall_seconds=10.0).passed
+        # unknown wall-clock cannot vacuously pass
+        report = evaluate_slo(spec, snapshot, wall_seconds=None)
+        assert not report.passed
+        assert "wall-clock" in report.results[0].detail
+
+    def test_report_serializes_and_renders(self):
+        snapshot = _snapshot_with_latencies([0.01] * 10)
+        spec = SLOSpec("s", (_latency_objective(threshold=0.001),))
+        report = evaluate_slo(spec, snapshot, wall_seconds=1.0)
+        data = json.loads(report.to_json())
+        assert data["passed"] is False
+        assert data["objectives"][0]["name"] == "lat"
+        text = report.render()
+        assert "FAIL" in text and "BREACH" in text
+
+    def test_default_spec_is_wellformed(self):
+        spec = default_slo()
+        kinds = {objective.kind for objective in spec.objectives}
+        assert kinds == {
+            "latency", "freshness", "error_rate", "throughput"
+        }

@@ -7,6 +7,7 @@ import time
 
 import pytest
 
+from repro.obs import InMemorySpanExporter, Tracer, set_tracer
 from repro.rdf.terms import Literal, URIRef
 from repro.store import QuadStore
 from repro.store.wal import OP_ADD
@@ -175,6 +176,70 @@ class TestConcurrent:
         generation, effective = store.apply([_op("w", 99)])
         assert (generation, effective) == (2, 1)
         store.close()
+
+    def test_followers_commit_traces_to_their_own_span(self):
+        """Cross-thread trace propagation: a submission flushed by
+        *another* thread's leader must still surface as a
+        ``store.group_commit`` span under the submitting thread's
+        active span — the follower's request trace shows its commit
+        even though the leader did the IO."""
+        buffer = InMemorySpanExporter()
+        previous = set_tracer(Tracer(enabled=True, exporters=[buffer]))
+        try:
+            store = QuadStore(group_commit=True)
+            store._commit_lock.acquire()
+            from repro.obs import get_tracer
+
+            def submit(i):
+                with get_tracer().span(f"request-{i}"):
+                    store.apply([_op("w", i)])
+
+            threads = [
+                threading.Thread(target=submit, args=(i,))
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                with store._group._mutex:
+                    queued = len(store._group._pending)
+                if queued == 3:
+                    break
+                time.sleep(0.005)
+            else:  # pragma: no cover - diagnostic path
+                pytest.fail("submissions never queued")
+            store._commit_lock.release()
+            for thread in threads:
+                thread.join()
+        finally:
+            set_tracer(previous)
+
+        assert store.generation == 1  # they really shared one group
+        spans = buffer.spans()
+        requests = {
+            span.name: span for span in spans
+            if span.name.startswith("request-")
+        }
+        commits = [
+            span for span in spans if span.name == "store.group_commit"
+        ]
+        assert len(requests) == 3 and len(commits) == 3
+        roles = sorted(span.attributes["role"] for span in commits)
+        assert roles == ["follower", "follower", "leader"]
+        # every commit span hangs off its own submitter's request span
+        # and shares that request's trace id
+        for commit in commits:
+            parent = next(
+                (
+                    request for request in requests.values()
+                    if request.span_id == commit.parent_id
+                ),
+                None,
+            )
+            assert parent is not None, commit.attributes
+            assert commit.trace_id == parent.trace_id
+            assert commit.attributes["generation"] == 1
 
     def test_grouped_store_recovers_after_crash(self, tmp_path):
         """WAL records written by group commits replay like any other."""

@@ -1,0 +1,203 @@
+"""Store-internals telemetry: WAL append/fsync, snapshot writes,
+background checkpointer runs, and group-commit batching histograms."""
+
+import pytest
+
+from repro.obs import (
+    InMemorySpanExporter,
+    MetricsRegistry,
+    Tracer,
+    set_registry,
+    set_tracer,
+)
+from repro.rdf.terms import Literal, URIRef
+from repro.store import CheckpointPolicy, QuadStore
+from repro.store.wal import OP_ADD
+
+EX = "http://example.org/"
+P = URIRef(EX + "p")
+
+
+def _op(i):
+    return (OP_ADD, (URIRef(f"{EX}s{i}"), P, Literal(str(i))), None)
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+@pytest.fixture
+def span_buffer():
+    buffer = InMemorySpanExporter()
+    previous = set_tracer(Tracer(enabled=True, exporters=[buffer]))
+    yield buffer
+    set_tracer(previous)
+
+
+def _histogram_child(registry, name, **labels):
+    family = registry.get(name)
+    assert family is not None, f"{name} was never emitted"
+    return family.labels(**labels)
+
+
+class TestWalTelemetry:
+    def test_append_latency_observed_per_commit(self, registry, tmp_path):
+        with QuadStore(tmp_path / "s") as store:
+            for i in range(5):
+                store.apply([_op(i)])
+        child = _histogram_child(
+            registry, "repro_store_wal_append_seconds", store="s"
+        )
+        assert child.count == 5
+        assert child.max > 0
+        # fsync histogram only exists for sync=True stores
+        assert registry.get("repro_store_wal_fsync_seconds") is None
+
+    def test_fsync_share_observed_for_sync_stores(
+        self, registry, tmp_path
+    ):
+        with QuadStore(tmp_path / "s", sync=True) as store:
+            for i in range(3):
+                store.apply([_op(i)])
+            assert store._wal.last_fsync_seconds > 0
+        child = _histogram_child(
+            registry, "repro_store_wal_fsync_seconds", store="s"
+        )
+        assert child.count == 3
+
+    def test_in_memory_store_emits_no_wal_latency(self, registry):
+        store = QuadStore()
+        store.apply([_op(1)])
+        assert registry.get("repro_store_wal_append_seconds") is None
+
+
+class TestCheckpointTelemetry:
+    def test_explicit_checkpoint_times_snapshot_write(
+        self, registry, span_buffer, tmp_path
+    ):
+        with QuadStore(tmp_path / "s") as store:
+            store.apply([_op(1)])
+            store.checkpoint()
+        child = _histogram_child(
+            registry, "repro_store_snapshot_write_seconds", store="s"
+        )
+        assert child.count == 1 and child.max > 0
+        names = [span.name for span in span_buffer.spans()]
+        assert "store.checkpoint" in names
+
+    def test_background_run_emits_duration_and_span(
+        self, registry, span_buffer, tmp_path
+    ):
+        with QuadStore(
+            tmp_path / "s",
+            checkpoint_policy=CheckpointPolicy(ops=5),
+        ) as store:
+            for i in range(12):
+                store.apply([_op(i)])
+            assert store.wait_for_checkpoints()
+            runs = store._checkpointer.stats()["runs"]
+        assert runs >= 1
+        child = _histogram_child(
+            registry, "repro_store_checkpoint_seconds",
+            store="s", outcome="ok",
+        )
+        assert child.count == runs
+        assert child.max > 0
+        spans = span_buffer.spans()
+        autos = [s for s in spans if s.name == "store.auto_checkpoint"]
+        assert len(autos) == runs
+        assert all(s.attributes["outcome"] == "ok" for s in autos)
+        # the explicit-checkpoint span nests under the background run
+        inner = [s for s in spans if s.name == "store.checkpoint"]
+        assert inner and all(
+            any(s.parent_id == a.span_id for a in autos) for s in inner
+        )
+
+    def test_failed_background_run_labeled_error(
+        self, registry, span_buffer, tmp_path, monkeypatch
+    ):
+        with QuadStore(
+            tmp_path / "s",
+            checkpoint_policy=CheckpointPolicy(ops=2),
+        ) as store:
+            monkeypatch.setattr(
+                store, "checkpoint",
+                lambda: (_ for _ in ()).throw(OSError("disk full")),
+            )
+            store.apply([_op(i) for i in range(3)])
+            assert store.wait_for_checkpoints()
+            assert store._checkpointer.stats()["failures"] >= 1
+        child = _histogram_child(
+            registry, "repro_store_checkpoint_seconds",
+            store="s", outcome="error",
+        )
+        assert child.count >= 1
+        autos = [
+            s for s in span_buffer.spans()
+            if s.name == "store.auto_checkpoint"
+        ]
+        assert any(s.attributes["outcome"] == "error" for s in autos)
+
+
+class TestGroupCommitTelemetry:
+    def test_batch_size_and_role_metrics(self, registry):
+        store = QuadStore(name="g", group_commit=True)
+        for i in range(4):
+            store.apply([_op(i)])
+        sizes = _histogram_child(
+            registry, "repro_store_group_batch_size", store="g"
+        )
+        assert sizes.count == 4  # four uncontended groups of one
+        assert sizes.max == 1.0
+        flush = _histogram_child(
+            registry, "repro_store_flush_seconds",
+            store="g", role="leader",
+        )
+        assert flush.count == 4
+        wait = _histogram_child(
+            registry, "repro_store_group_wait_seconds",
+            store="g", role="leader",
+        )
+        assert wait.count == 4
+
+    def test_coalesced_group_observed_once_at_full_size(self, registry):
+        import threading
+        import time
+
+        store = QuadStore(name="g", group_commit=True)
+        store._commit_lock.acquire()
+        threads = [
+            threading.Thread(
+                target=lambda i=i: store.apply([_op(i)])
+            )
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            with store._group._mutex:
+                queued = len(store._group._pending)
+            if queued == 4:
+                break
+            time.sleep(0.005)
+        else:  # pragma: no cover - diagnostic path
+            pytest.fail("submissions never queued")
+        store._commit_lock.release()
+        for thread in threads:
+            thread.join()
+
+        sizes = _histogram_child(
+            registry, "repro_store_group_batch_size", store="g"
+        )
+        assert sizes.count == 1
+        assert sizes.max == 4.0
+        followers = _histogram_child(
+            registry, "repro_store_group_wait_seconds",
+            store="g", role="follower",
+        )
+        assert followers.count == 3

@@ -1,5 +1,7 @@
 """CLI tests (run in-process through main())."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -420,3 +422,63 @@ class TestExplain:
             "explain", "SELECT WHERE {", "--file", str(data)
         ]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestObsLoadgen:
+    def test_schedule_only_is_deterministic(self, capsys):
+        assert main([
+            "obs", "loadgen", "--mix", "default", "--seed", "7",
+            "--ops", "40", "--schedule-only",
+        ]) == 0
+        first = capsys.readouterr().out
+        assert main([
+            "obs", "loadgen", "--mix", "default", "--seed", "7",
+            "--ops", "40", "--schedule-only",
+        ]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "schedule digest:" in first
+
+    def test_unknown_mix_exits_2(self, capsys):
+        assert main([
+            "obs", "loadgen", "--mix", "bogus", "--schedule-only",
+        ]) == 2
+        assert "unknown mix" in capsys.readouterr().err
+
+    def test_run_with_slo_and_artifacts(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        report = tmp_path / "slo.json"
+        assert main([
+            "obs", "loadgen", "--mix", "default", "--seed", "7",
+            "--ops", "32", "--workers", "2", "--base-contents", "10",
+            "--slo", "--report", str(report),
+            "--save-metrics", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "load run:" in out and "SLO" in out
+        saved = json.loads(report.read_text())
+        assert saved["passed"] is True
+        bundle = json.loads(metrics.read_text())
+        assert "repro_loadgen_op_seconds" in bundle["metrics"]
+
+    def test_slo_verb_reads_saved_bundle(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "obs", "loadgen", "--seed", "7", "--ops", "32",
+            "--workers", "2", "--base-contents", "10",
+            "--save-metrics", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs", "slo", "--input", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_slo_verb_missing_input_exits_2(self, capsys):
+        assert main([
+            "obs", "slo", "--input", "/nonexistent/metrics.json",
+        ]) == 2
+        assert capsys.readouterr().err
+
+    def test_health_smoke(self, capsys):
+        assert main(["obs", "health", "--seed", "7"]) == 0
+        assert "healthy" in capsys.readouterr().out

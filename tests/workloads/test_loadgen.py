@@ -1,0 +1,119 @@
+"""Load generator: deterministic schedules, config validation, and a
+small end-to-end run reporting out of the metrics registry."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, set_registry
+from repro.workloads import (
+    MIXES,
+    LoadConfig,
+    LoadGenerator,
+    build_schedule,
+    render_schedule,
+    schedule_digest,
+)
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+class TestConfig:
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            LoadConfig(mix="nope")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LoadConfig(mode="half-open")
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            LoadConfig(ops=0)
+        with pytest.raises(ValueError):
+            LoadConfig(workers=0)
+        with pytest.raises(ValueError):
+            LoadConfig(rate=0.0)
+        with pytest.raises(ValueError):
+            LoadConfig(sync_every=0)
+
+    def test_all_mixes_constructible(self):
+        for mix in MIXES:
+            assert LoadConfig(mix=mix).mix == mix
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        a = build_schedule(LoadConfig(seed=7, ops=50))
+        b = build_schedule(LoadConfig(seed=7, ops=50))
+        assert render_schedule(a) == render_schedule(b)
+        assert schedule_digest(a) == schedule_digest(b)
+
+    def test_seed_changes_schedule(self):
+        a = build_schedule(LoadConfig(seed=7, ops=50))
+        b = build_schedule(LoadConfig(seed=8, ops=50))
+        assert schedule_digest(a) != schedule_digest(b)
+
+    def test_mix_changes_schedule(self):
+        a = build_schedule(LoadConfig(mix="default", seed=7, ops=50))
+        b = build_schedule(LoadConfig(mix="ingest", seed=7, ops=50))
+        assert schedule_digest(a) != schedule_digest(b)
+
+    def test_mix_weights_respected(self):
+        # the ingest mix has zero mashup weight: none may be drawn
+        schedule = build_schedule(
+            LoadConfig(mix="ingest", seed=3, ops=200)
+        )
+        kinds = {op.kind for op in schedule}
+        assert "mashup" not in kinds
+        assert "upload" in kinds
+
+    def test_arrivals_monotonic(self):
+        schedule = build_schedule(LoadConfig(seed=1, ops=40))
+        arrivals = [op.arrival_s for op in schedule]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+
+    def test_render_lines_up_with_ops(self):
+        schedule = build_schedule(LoadConfig(seed=1, ops=12))
+        lines = render_schedule(schedule).splitlines()
+        assert len(lines) == 12
+        assert lines[0].startswith("0000 ")
+
+
+class TestRun:
+    def test_small_run_reports_latencies(self, registry):
+        config = LoadConfig(
+            seed=7, ops=32, workers=3, base_contents=12, sync_every=2
+        )
+        report = LoadGenerator(config).run()
+        assert report.completed == 32
+        assert report.errors == 0, report.error_samples
+        assert report.digest == schedule_digest(build_schedule(config))
+        assert report.wall_seconds > 0
+        assert report.throughput > 0
+        # every op kind in the schedule shows up with a distribution
+        kinds = {op.kind for op in build_schedule(config)}
+        assert set(report.per_op) == kinds
+        for row in report.per_op.values():
+            assert row["count"] >= 1
+            assert row["p95_ms"] >= row["p50_ms"] >= 0
+            assert row["max_ms"] > 0
+        # uploads happened and were verified queryable after sync
+        if "upload" in kinds:
+            assert report.freshness.get("count", 0) >= 1
+        # the registry snapshot rides along for offline SLO evaluation
+        assert "repro_loadgen_op_seconds" in report.metrics
+
+    def test_report_serializes(self, registry):
+        config = LoadConfig(seed=5, ops=8, workers=2, base_contents=8)
+        report = LoadGenerator(config).run()
+        data = report.to_dict()
+        assert data["schedule_digest"] == report.digest
+        assert data["completed"] == 8
+        text = report.render()
+        assert "load run:" in text and "op/s" in text
